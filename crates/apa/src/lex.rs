@@ -1,0 +1,272 @@
+//! Lexer for MiniC.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keyword (one of the reserved words).
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Struct,
+    Global,
+    Fn,
+    Var,
+    Malloc,
+    MallocArray,
+    Free,
+    If,
+    Else,
+    While,
+    Return,
+    Print,
+    Null,
+    Int,
+    Ptr,
+}
+
+/// Punctuation and operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Assign,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    AndAnd,
+    OrOr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(v) => write!(f, "integer `{v}`"),
+            Token::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            Token::Punct(p) => write!(f, "`{p:?}`"),
+        }
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MiniC source. Supports `//` line comments.
+///
+/// # Errors
+/// Returns a [`LexError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v = text.parse::<i64>().map_err(|_| LexError {
+                    pos: start,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push(Token::Int(v));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "struct" => Token::Keyword(Keyword::Struct),
+                    "global" => Token::Keyword(Keyword::Global),
+                    "fn" => Token::Keyword(Keyword::Fn),
+                    "var" => Token::Keyword(Keyword::Var),
+                    "malloc" => Token::Keyword(Keyword::Malloc),
+                    "malloc_array" => Token::Keyword(Keyword::MallocArray),
+                    "free" => Token::Keyword(Keyword::Free),
+                    "if" => Token::Keyword(Keyword::If),
+                    "else" => Token::Keyword(Keyword::Else),
+                    "while" => Token::Keyword(Keyword::While),
+                    "return" => Token::Keyword(Keyword::Return),
+                    "print" => Token::Keyword(Keyword::Print),
+                    "null" => Token::Keyword(Keyword::Null),
+                    "int" => Token::Keyword(Keyword::Int),
+                    "ptr" => Token::Keyword(Keyword::Ptr),
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push(tok);
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let (punct, len) = match two {
+                    "->" => (Punct::Arrow, 2),
+                    "==" => (Punct::EqEq, 2),
+                    "!=" => (Punct::Ne, 2),
+                    "<=" => (Punct::Le, 2),
+                    ">=" => (Punct::Ge, 2),
+                    "&&" => (Punct::AndAnd, 2),
+                    "||" => (Punct::OrOr, 2),
+                    _ => {
+                        let p = match c {
+                            b'{' => Punct::LBrace,
+                            b'}' => Punct::RBrace,
+                            b'[' => Punct::LBracket,
+                            b']' => Punct::RBracket,
+                            b'(' => Punct::LParen,
+                            b')' => Punct::RParen,
+                            b'<' => Punct::Lt,
+                            b'>' => Punct::Gt,
+                            b'=' => Punct::Assign,
+                            b',' => Punct::Comma,
+                            b';' => Punct::Semi,
+                            b':' => Punct::Colon,
+                            b'+' => Punct::Plus,
+                            b'-' => Punct::Minus,
+                            b'*' => Punct::Star,
+                            b'/' => Punct::Slash,
+                            b'%' => Punct::Percent,
+                            _ => {
+                                return Err(LexError {
+                                    pos: i,
+                                    message: format!("unexpected character `{}`", c as char),
+                                })
+                            }
+                        };
+                        (p, 1)
+                    }
+                };
+                out.push(Token::Punct(punct));
+                i += len;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_figure_one_fragment() {
+        let toks = lex("p->next = malloc(s); // comment\nfree(p);").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("p".into()),
+                Token::Punct(Punct::Arrow),
+                Token::Ident("next".into()),
+                Token::Punct(Punct::Assign),
+                Token::Keyword(Keyword::Malloc),
+                Token::Punct(Punct::LParen),
+                Token::Ident("s".into()),
+                Token::Punct(Punct::RParen),
+                Token::Punct(Punct::Semi),
+                Token::Keyword(Keyword::Free),
+                Token::Punct(Punct::LParen),
+                Token::Ident("p".into()),
+                Token::Punct(Punct::RParen),
+                Token::Punct(Punct::Semi),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = lex("== != <= >= && || ->").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Punct(Punct::EqEq),
+                Token::Punct(Punct::Ne),
+                Token::Punct(Punct::Le),
+                Token::Punct(Punct::Ge),
+                Token::Punct(Punct::AndAnd),
+                Token::Punct(Punct::OrOr),
+                Token::Punct(Punct::Arrow),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let toks = lex("structx struct intp int").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("structx".into()),
+                Token::Keyword(Keyword::Struct),
+                Token::Ident("intp".into()),
+                Token::Keyword(Keyword::Int),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a $ b").unwrap_err();
+        assert_eq!(err.pos, 2);
+        assert!(err.to_string().contains('$'));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("0 42 123456789").unwrap(), vec![
+            Token::Int(0), Token::Int(42), Token::Int(123456789)
+        ]);
+        assert!(lex("999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Pretty-printer for MiniC programs, including the pool constructs the
+//! transform introduces (rendered in the paper's Figure 2 style).
+//!
+//! Untransformed programs round-trip: `parse(to_source(p)) == p` up to
+//! site-id renumbering. Transformed programs print the extended syntax
+//! (`poolinit`, `pooldestroy`, pool-annotated `malloc`/`free`, pool
+//! arguments) for human consumption.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program as source text.
+pub fn to_source(prog: &Program) -> String {
+    let mut out = String::new();
+    for s in &prog.structs {
+        let fields: Vec<String> =
+            s.fields.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let _ = writeln!(out, "struct {} {{ {} }}", s.name, fields.join(", "));
+    }
+    for (g, t) in &prog.globals {
+        let _ = writeln!(out, "global {g}: {t};");
+    }
+    for f in &prog.funcs {
+        let _ = writeln!(out);
+        let params: Vec<String> =
+            f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let pools: Vec<String> =
+            f.pool_params.iter().map(|p| format!("{p}: Pool")).collect();
+        let all: Vec<String> = params.into_iter().chain(pools).collect();
+        let ret = f.ret.as_ref().map(|t| format!(" -> {t}")).unwrap_or_default();
+        let _ = writeln!(out, "fn {}({}){} {{", f.name, all.join(", "), ret);
+        write_stmts(&mut out, &f.body, 1);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_stmts(out: &mut String, stmts: &[Stmt], level: usize) {
+    for s in stmts {
+        indent(out, level);
+        match s {
+            Stmt::VarDecl { name, ty, init } => match init {
+                Some(e) => {
+                    let _ = writeln!(out, "var {name}: {ty} = {};", expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "var {name}: {ty};");
+                }
+            },
+            Stmt::Assign { lhs, rhs } => {
+                let l = match lhs {
+                    LValue::Var(v) => v.clone(),
+                    LValue::Field { base, field } => format!("{}->{field}", expr(base)),
+                };
+                let _ = writeln!(out, "{l} = {};", expr(rhs));
+            }
+            Stmt::Free { expr: e, pool, .. } => match pool {
+                Some(p) => {
+                    let _ = writeln!(out, "poolfree({p}, {});", expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "free({});", expr(e));
+                }
+            },
+            Stmt::If { cond, then, els } => {
+                let _ = writeln!(out, "if ({}) {{", expr(cond));
+                write_stmts(out, then, level + 1);
+                if els.is_empty() {
+                    indent(out, level);
+                    let _ = writeln!(out, "}}");
+                } else {
+                    indent(out, level);
+                    let _ = writeln!(out, "}} else {{");
+                    write_stmts(out, els, level + 1);
+                    indent(out, level);
+                    let _ = writeln!(out, "}}");
+                }
+            }
+            Stmt::While { cond, body } => {
+                let _ = writeln!(out, "while ({}) {{", expr(cond));
+                write_stmts(out, body, level + 1);
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+            Stmt::Return(None) => {
+                let _ = writeln!(out, "return;");
+            }
+            Stmt::Return(Some(e)) => {
+                let _ = writeln!(out, "return {};", expr(e));
+            }
+            Stmt::Print(e) => {
+                let _ = writeln!(out, "print({});", expr(e));
+            }
+            Stmt::ExprStmt(e) => {
+                let _ = writeln!(out, "{};", expr(e));
+            }
+            Stmt::PoolInit { pool, elem_size } => {
+                let _ = writeln!(out, "poolinit({pool}, {elem_size});");
+            }
+            Stmt::PoolDestroy { pool } => {
+                let _ = writeln!(out, "pooldestroy({pool});");
+            }
+        }
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Null => "null".to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Malloc { struct_name, pool: None, .. } => format!("malloc({struct_name})"),
+        Expr::Malloc { struct_name, pool: Some(p), .. } => {
+            format!("poolalloc({p}, {struct_name})")
+        }
+        Expr::MallocArray { struct_name, count, pool: None, .. } => {
+            format!("malloc_array({struct_name}, {})", expr(count))
+        }
+        Expr::MallocArray { struct_name, count, pool: Some(p), .. } => {
+            format!("poolalloc_array({p}, {struct_name}, {})", expr(count))
+        }
+        Expr::Index { base, index } => format!("{}[{}]", expr(base), expr(index)),
+        Expr::Field { base, field } => format!("{}->{field}", expr(base)),
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", expr(lhs), op_str(*op), expr(rhs))
+        }
+        Expr::Call { callee, args, pool_args } => {
+            let mut parts: Vec<String> = args.iter().map(expr).collect();
+            parts.extend(pool_args.iter().cloned());
+            format!("{callee}({})", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse, FIGURE_1};
+    use crate::transform::pool_allocate;
+
+    #[test]
+    fn untransformed_round_trips() {
+        let prog = parse(FIGURE_1).unwrap();
+        let printed = to_source(&prog);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(prog, reparsed, "pretty-print must round-trip");
+    }
+
+    #[test]
+    fn transformed_shows_figure_two_constructs() {
+        let (t, _) = pool_allocate(&parse(FIGURE_1).unwrap());
+        let printed = to_source(&t);
+        assert!(printed.contains("poolinit(__pool0, 16);"), "{printed}");
+        assert!(printed.contains("pooldestroy(__pool0);"), "{printed}");
+        assert!(printed.contains("poolalloc(__pool0, s)"), "{printed}");
+        assert!(printed.contains("poolfree(__pool0,"), "{printed}");
+        assert!(printed.contains("g(p, __pool0)"), "{printed}");
+        assert!(printed.contains("fn g(p: ptr<s>, __pool0: Pool)"), "{printed}");
+    }
+
+    #[test]
+    fn parenthesization_preserves_meaning() {
+        let prog = parse("fn main() { print(1 + 2 * 3); print((1 + 2) * 3); }").unwrap();
+        let reparsed = parse(&to_source(&prog)).unwrap();
+        assert_eq!(prog, reparsed);
+    }
+}

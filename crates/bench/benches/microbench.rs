@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks of the detector's primitive operations: the
+//! per-allocation cost (underlying malloc + `mremap` alias + header word),
+//! the per-free cost (`mprotect` + underlying free), the checked access
+//! path, and the pool create/destroy cycle. These measure *host* time of
+//! the simulator — useful for tracking regressions in the implementation
+//! itself (the paper-facing numbers are the simulated cycles printed by the
+//! table binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use dangle_core::{ShadowHeap, ShadowPool};
+use dangle_heap::{Allocator, SysHeap};
+use dangle_vmm::Machine;
+use std::hint::black_box;
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_free_pair");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("sys_heap", |b| {
+        let mut m = Machine::new();
+        let mut h = SysHeap::new();
+        b.iter(|| {
+            let p = h.alloc(&mut m, 64).unwrap();
+            h.free(&mut m, black_box(p)).unwrap();
+        });
+    });
+    group.bench_function("shadow_heap", |b| {
+        let mut m = Machine::new();
+        let mut h = ShadowHeap::new(SysHeap::new());
+        b.iter(|| {
+            let p = h.alloc(&mut m, 64).unwrap();
+            h.free(&mut m, black_box(p)).unwrap();
+        });
+    });
+    group.bench_function("shadow_pool", |b| {
+        let mut m = Machine::new();
+        let mut sp = ShadowPool::new();
+        let pool = sp.create(64);
+        b.iter(|| {
+            let p = sp.alloc(&mut m, pool, 64).unwrap();
+            sp.free(&mut m, pool, black_box(p)).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("load_store_u64", |b| {
+        let mut m = Machine::new();
+        let p = m.mmap(1).unwrap();
+        b.iter(|| {
+            m.store_u64(p, 42).unwrap();
+            black_box(m.load_u64(p).unwrap());
+        });
+    });
+    group.bench_function("load_through_shadow", |b| {
+        let mut m = Machine::new();
+        let mut h = ShadowHeap::new(SysHeap::new());
+        let p = h.alloc(&mut m, 64).unwrap();
+        m.store_u64(p, 7).unwrap();
+        b.iter(|| black_box(m.load_u64(black_box(p)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_pool_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_lifecycle");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("pool_create_alloc_destroy", |b| {
+        let mut m = Machine::new();
+        let mut sp = ShadowPool::new();
+        b.iter(|| {
+            let pool = sp.create(16);
+            for _ in 0..8 {
+                black_box(sp.alloc(&mut m, pool, 16).unwrap());
+            }
+            sp.destroy(&mut m, pool).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_remap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remap");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    group.bench_function("mremap_alias_page", |b| {
+        let mut m = Machine::new();
+        let p = m.mmap(1).unwrap();
+        b.iter(|| black_box(m.mremap_alias(black_box(p), 1).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_free, bench_access, bench_pool_lifecycle, bench_remap);
+criterion_main!(benches);

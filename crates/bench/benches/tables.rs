@@ -1,0 +1,83 @@
+//! Criterion wrappers over the table workloads: one group per paper table,
+//! measuring host-side runtime of representative workload/configuration
+//! pairs at reduced scale. The authoritative paper-shaped output comes from
+//! the `table1`/`table2`/`table3` binaries; these benches exist so `cargo
+//! bench` exercises the same code paths under Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use dangle_bench::{measure, Config};
+use dangle_workloads::apps::{Enscript, Gzip};
+use dangle_workloads::olden_sim::Health;
+use dangle_workloads::olden_trees::TreeAdd;
+use dangle_workloads::servers::Ghttpd;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let server = Ghttpd { connections: 4, response_bytes: 8_000 };
+    let utility = Enscript { input_bytes: 8_000, lines_per_page: 22 };
+    let gzip = Gzip { input_bytes: 12_000 };
+    for config in [Config::Base, Config::Pa, Config::PaDummy, Config::Ours] {
+        group.bench_with_input(
+            BenchmarkId::new("ghttpd", config.label()),
+            &config,
+            |b, &cfg| b.iter(|| black_box(measure(&server, cfg).cycles)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enscript", config.label()),
+            &config,
+            |b, &cfg| b.iter(|| black_box(measure(&utility, cfg).cycles)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gzip", config.label()),
+            &config,
+            |b, &cfg| b.iter(|| black_box(measure(&gzip, cfg).cycles)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let utility = Enscript { input_bytes: 8_000, lines_per_page: 22 };
+    for config in [Config::Ours, Config::Memcheck] {
+        group.bench_with_input(
+            BenchmarkId::new("enscript", config.label()),
+            &config,
+            |b, &cfg| b.iter(|| black_box(measure(&utility, cfg).cycles)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let treeadd = TreeAdd { depth: 8, passes: 2 };
+    let health = Health { levels: 3, steps: 15 };
+    for config in [Config::Base, Config::PaDummy, Config::Ours] {
+        group.bench_with_input(
+            BenchmarkId::new("treeadd", config.label()),
+            &config,
+            |b, &cfg| b.iter(|| black_box(measure(&treeadd, cfg).cycles)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("health", config.label()),
+            &config,
+            |b, &cfg| b.iter(|| black_box(measure(&health, cfg).cycles)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Regenerates the paper's **§3.4 analysis**: how long a program can run
+//! before exhausting virtual address space without page reuse, and the
+//! mitigations.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin exhaustion
+//! ```
+
+use dangle_core::exhaustion::{
+    paper_adversarial_hours, time_to_exhaustion, VA_BYTES_32BIT, VA_BYTES_64BIT,
+};
+use dangle_core::{gc, ShadowConfig, ShadowHeap, ShadowPool};
+use dangle_heap::{Allocator, SysHeap};
+use dangle_vmm::{Machine, MachineConfig};
+
+fn main() {
+    println!("§3.4: Virtual address space lifetime without shadow-page reuse.\n");
+
+    println!("closed form: time to exhaust VA at a given allocation rate");
+    println!("  (one object per page, no reuse — the basic scheme)\n");
+    for (label, rate) in [
+        ("1 alloc/us (paper's extreme)", 1_000_000u64),
+        ("100k alloc/s", 100_000),
+        ("10k alloc/s (busy server)", 10_000),
+        ("1k alloc/s", 1_000),
+    ] {
+        let t64 = time_to_exhaustion(VA_BYTES_64BIT, rate);
+        let t32 = time_to_exhaustion(VA_BYTES_32BIT, rate);
+        println!(
+            "  {label:<30} 64-bit: {:>10.1} h   32-bit: {:>8.1} s",
+            t64.as_secs_f64() / 3600.0,
+            t32.as_secs_f64()
+        );
+    }
+    println!(
+        "\n  paper's headline: {:.1} hours (\"at least 9 hours\" in §1/§3.4)\n",
+        paper_adversarial_hours()
+    );
+
+    // Demonstrate the failure and both mitigations on a tiny-VA machine.
+    let tiny = MachineConfig { virt_pages: 4_000, ..MachineConfig::default() };
+
+    // 1. Basic scheme: exhausts.
+    let mut m = Machine::with_config(tiny);
+    let mut h = ShadowHeap::new(SysHeap::new());
+    let mut allocated = 0u64;
+    while let Ok(p) = h.alloc(&mut m, 64) {
+        let _ = h.free(&mut m, p);
+        allocated += 1;
+    }
+    println!("tiny machine (4000 VA pages), alloc/free loop:");
+    println!("  basic scheme (no reuse):        exhausted after {allocated} allocations");
+
+    // 2. Solution 1: threshold recycling.
+    let mut m = Machine::with_config(tiny);
+    let mut h = ShadowHeap::with_config(
+        SysHeap::new(),
+        ShadowConfig { recycle_threshold_pages: Some(2_000) },
+    );
+    let target = allocated * 20;
+    let mut ok = 0u64;
+    for _ in 0..target {
+        match h.alloc(&mut m, 64) {
+            Ok(p) => {
+                let _ = h.free(&mut m, p);
+                ok += 1;
+            }
+            Err(_) => break,
+        }
+    }
+    println!(
+        "  solution 1 (recycle threshold): survived {ok}/{target} allocations \
+         (guarantee waived past the threshold)"
+    );
+
+    // 3. Solution 2: conservative pool GC reclaims freed shadow pages of a
+    //    long-lived (global) pool.
+    let mut m = Machine::with_config(tiny);
+    let mut sp = ShadowPool::new();
+    let global = sp.create(64);
+    let mut ok = 0u64;
+    let mut gcs = 0u32;
+    for _ in 0..target {
+        match sp.alloc(&mut m, global, 64) {
+            Ok(p) => {
+                sp.free(&mut m, global, p).expect("free");
+                ok += 1;
+            }
+            Err(_) => {
+                // Out of VA: run the conservative GC over the global pool.
+                let report = gc::collect(&mut m, &mut sp, &[global], &[]);
+                gcs += 1;
+                if report.pages_reclaimed == 0 {
+                    break;
+                }
+            }
+        }
+        // Near the budget and nothing recycled: collect "under light load",
+        // as §3.4 suggests (infrequently — only when the free list drains).
+        if m.virt_pages_consumed() > 3_900 && sp.pools().free_page_count() == 0 {
+            let report = gc::collect(&mut m, &mut sp, &[global], &[]);
+            gcs += 1;
+            if report.pages_reclaimed == 0 {
+                break;
+            }
+        }
+    }
+    println!(
+        "  solution 2 (conservative GC):   survived {ok}/{target} allocations \
+         with {gcs} collections of the global pool"
+    );
+    println!(
+        "\nBoth mitigations keep a long-lived process alive indefinitely; the\n\
+         pure pool path (Table 1 servers) never needs them because\n\
+         connection pools die and recycle their pages."
+    );
+}

@@ -1,0 +1,194 @@
+//! Empirical soundness study (beyond the paper's tables, supporting its
+//! central claim): generate random MiniC programs, inject **one
+//! use-after-free at a random program point**, and measure each scheme's
+//! detection rate.
+//!
+//! The paper's claim is categorical — the MMU scheme detects *all* dangling
+//! pointer uses — while heuristic tools detect them "only as long as the
+//! freed memory is not reused" (§5.1). This harness quantifies exactly
+//! that: our approach and the other sound schemes must score 100%;
+//! plain malloc scores 0%; memcheck lands in between, losing precisely the
+//! cases where its quarantine recycled the block before the stale use.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin soundness [programs]
+//! ```
+
+use dangle_apa::{parse, pool_allocate, Program};
+use dangle_bench::render_table;
+use dangle_baselines::memcheck::MemcheckConfig;
+use dangle_interp::backend::{
+    Backend, CapabilityBackend, EFenceBackend, MemcheckBackend, NativeBackend, PoolBackend,
+    ShadowBackend, ShadowPoolBackend,
+};
+use dangle_interp::{is_detection, run};
+use dangle_vmm::Machine;
+use dangle_workloads::Prng;
+use std::fmt::Write as _;
+
+const FUEL: u64 = 6_000_000;
+
+/// A scheme under study: label, backend factory, and whether it runs the
+/// pool-transformed program.
+type Scheme = (&'static str, Box<dyn Fn() -> Box<dyn Backend>>, bool);
+
+/// Generates a random program that builds/frees linked lists and contains
+/// exactly one injected use-after-free: a pointer snapshot taken before a
+/// drain-free, dereferenced after `gap` further operations.
+fn generate(rng: &mut Prng) -> String {
+    let lists = 3usize;
+    let n_ops = 6 + rng.below(25) as usize;
+    let snap_at = rng.below(n_ops as u64) as usize;
+    let snap_list = rng.below(lists as u64) as usize;
+    let gap = 1 + rng.below(6) as usize;
+
+    let mut src = String::from(
+        "struct node { next: ptr<node>, val: int }\nfn main() {\n",
+    );
+    for l in 0..lists {
+        let _ = writeln!(src, "    var h{l}: ptr<node> = null;");
+    }
+    src.push_str("    var t: ptr<node> = null;\n    var stale: ptr<node> = null;\n");
+    let mut injected = false;
+    let mut armed_at: Option<usize> = None;
+    for i in 0..n_ops {
+        if i == snap_at {
+            // Guarantee the victim list is non-empty, snapshot its head,
+            // then free the whole list. `stale` now dangles.
+            let _ = writeln!(
+                src,
+                "    t = malloc(node); t->val = 7; t->next = h{snap_list}; h{snap_list} = t; t = null;"
+            );
+            let _ = writeln!(src, "    stale = h{snap_list};");
+            let _ = writeln!(
+                src,
+                "    while (h{snap_list} != null) {{ t = h{snap_list}->next; free(h{snap_list}); h{snap_list} = t; }} t = null;"
+            );
+            // A churn burst of random intensity between the free and the
+            // stale use: long bursts flush bounded quarantines (where the
+            // heuristic tools lose the bug), short ones do not.
+            let burst = rng.below(90);
+            let _ = writeln!(
+                src,
+                "    var burst: int = 0;\n    \
+                 while (burst < {burst}) {{ t = malloc(node); t->val = burst; free(t); t = null; burst = burst + 1; }}"
+            );
+            armed_at = Some(i);
+        }
+        if let Some(at) = armed_at {
+            if !injected && i >= at + gap {
+                src.push_str("    print(stale->val); // injected use-after-free\n");
+                injected = true;
+            }
+        }
+        // Background traffic (reuses the freed storage with some luck).
+        let l = rng.below(lists as u64) as usize;
+        match rng.below(3) {
+            0 => {
+                let _ = writeln!(
+                    src,
+                    "    t = malloc(node); t->val = {}; t->next = h{l}; h{l} = t; t = null;",
+                    rng.below(100)
+                );
+            }
+            1 => {
+                let _ = writeln!(
+                    src,
+                    "    if (h{l} != null) {{ t = h{l}->next; free(h{l}); h{l} = t; t = null; }}"
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    src,
+                    "    var s{i}: int = 0; var c{i}: ptr<node> = h{l};\n    \
+                     while (c{i} != null) {{ s{i} = s{i} + c{i}->val; c{i} = c{i}->next; }}\n    \
+                     print(s{i});"
+                );
+            }
+        }
+    }
+    if !injected {
+        src.push_str("    print(stale->val); // injected use-after-free\n");
+    }
+    src.push_str("}\n");
+    src
+}
+
+fn detects(prog: &Program, mut backend: Box<dyn Backend>) -> bool {
+    let mut machine = Machine::new();
+    match run(prog, &mut machine, backend.as_mut(), FUEL) {
+        Err(e) => is_detection(&e),
+        Ok(_) => false,
+    }
+}
+
+fn main() {
+    let programs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let mut rng = Prng::new(0x5047_2026);
+
+    // The memcheck quarantine is scaled to these miniature programs the
+    // same way its real 256 KiB default relates to real heaps: big enough
+    // to hold a dozen recent frees, small enough that a burst of churn
+    // flushes it.
+    let tiny_quarantine =
+        || MemcheckConfig { quarantine_bytes: 256, ..MemcheckConfig::default() };
+    let schemes: Vec<Scheme> = vec![
+        ("native", Box::new(|| Box::new(NativeBackend::new())), false),
+        ("PA only", Box::new(|| Box::new(PoolBackend::new())), true),
+        ("Ours (shadow+pools)", Box::new(|| Box::new(ShadowPoolBackend::new())), true),
+        ("shadow (no pools)", Box::new(|| Box::new(ShadowBackend::new())), false),
+        ("Electric Fence", Box::new(|| Box::new(EFenceBackend::new())), false),
+        (
+            "Valgrind-style",
+            Box::new(move || Box::new(MemcheckBackend::with_config(tiny_quarantine()))),
+            false,
+        ),
+        ("capability store", Box::new(|| Box::new(CapabilityBackend::new())), false),
+    ];
+
+    let mut caught = vec![0usize; schemes.len()];
+    for _ in 0..programs {
+        let src = generate(&mut rng);
+        let prog = parse(&src).expect("generated program must parse");
+        let (transformed, _) = pool_allocate(&prog);
+        for (i, (_, make, pooled)) in schemes.iter().enumerate() {
+            let p = if *pooled { &transformed } else { &prog };
+            if detects(p, make()) {
+                caught[i] += 1;
+            }
+        }
+    }
+
+    println!(
+        "Soundness study: {programs} random programs, each with ONE injected\n\
+         use-after-free at a random point, background alloc/free traffic\n\
+         around it.\n"
+    );
+    let rows: Vec<Vec<String>> = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| {
+            vec![
+                name.to_string(),
+                format!("{}/{}", caught[i], programs),
+                format!("{:.1}%", 100.0 * caught[i] as f64 / programs as f64),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["scheme", "detected", "rate"], &rows));
+
+    let ours = caught[2];
+    let shadow = caught[3];
+    assert_eq!(ours, programs, "the paper's guarantee: OURS MUST CATCH ALL");
+    assert_eq!(shadow, programs, "Insight 1 alone is also sound");
+    println!(
+        "\nOurs and the other MMU/capability schemes are sound; plain malloc\n\
+         and PA-only never detect; the Valgrind-style quarantine catches\n\
+         most but not all (the misses are stale uses after quarantine\n\
+         recycling — §5.1's 'only as long as the freed memory is not\n\
+         reused')."
+    );
+}

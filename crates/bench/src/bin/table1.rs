@@ -1,0 +1,61 @@
+//! Regenerates **Table 1** of the paper: run-time overheads of the
+//! detector on Unix utilities and server daemons, decomposed across the
+//! five measurement configurations.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin table1
+//! ```
+//!
+//! Expected shape (paper): servers < 4% overhead, utilities < 15% with
+//! enscript worst; the `PA + dummy syscalls` column isolates the syscall
+//! share of the overhead, the remainder being TLB pressure.
+
+use dangle_bench::{mcycles, measure, ratio, render_table, Config};
+use dangle_workloads::{server_suite, utilities};
+
+fn main() {
+    let header = [
+        "Benchmark",
+        "native (Mcyc)",
+        "LLVM base (Mcyc)",
+        "PA (Mcyc)",
+        "PA+dummy (Mcyc)",
+        "Ours (Mcyc)",
+        "Ratio 1",
+        "Ratio 2",
+    ];
+    let mut rows = Vec::new();
+    let mut section = |title: &str, workloads: Vec<Box<dyn dangle_workloads::Workload>>| {
+        rows.push(vec![format!("-- {title} --")]);
+        for w in workloads {
+            let native = measure(w.as_ref(), Config::Native);
+            let base = measure(w.as_ref(), Config::Base);
+            let pa = measure(w.as_ref(), Config::Pa);
+            let pa_dummy = measure(w.as_ref(), Config::PaDummy);
+            let ours = measure(w.as_ref(), Config::Ours);
+            assert_eq!(native.checksum, ours.checksum, "{}: semantics changed!", w.name());
+            rows.push(vec![
+                w.name().to_string(),
+                mcycles(native.cycles),
+                mcycles(base.cycles),
+                mcycles(pa.cycles),
+                mcycles(pa_dummy.cycles),
+                mcycles(ours.cycles),
+                format!("{:.2}", ratio(ours.cycles, base.cycles)),
+                format!("{:.2}", ratio(ours.cycles, native.cycles)),
+            ]);
+        }
+    };
+    section("Utilities", utilities());
+    section("Servers", server_suite());
+
+    println!("Table 1: Runtime overheads of our approach.");
+    println!(
+        "Ratio 1 = Our approach / LLVM base;  Ratio 2 = Our approach / native.\n"
+    );
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "(native and LLVM-base use the same simulated codegen, so their\n\
+         columns coincide by construction; see EXPERIMENTS.md.)"
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Table 2** of the paper: comparison with Valgrind
+//! (memcheck) on the four Unix utilities.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin table2
+//! ```
+//!
+//! Expected shape (paper): Valgrind slowdowns of 2.48–26.37× (148%–2537%),
+//! orders of magnitude above ours (1.00–1.15×) — and, unlike ours,
+//! Valgrind's detection is heuristic (quarantine-bounded).
+
+use dangle_bench::{measure, ratio, render_table, Config};
+use dangle_workloads::utilities;
+
+fn main() {
+    let header = [
+        "Benchmark",
+        "Ours (Mcyc)",
+        "Valgrind (Mcyc)",
+        "Our slowdown",
+        "Valgrind slowdown",
+    ];
+    let mut rows = Vec::new();
+    for w in utilities() {
+        let base = measure(w.as_ref(), Config::Base);
+        let ours = measure(w.as_ref(), Config::Ours);
+        let valgrind = measure(w.as_ref(), Config::Memcheck);
+        assert_eq!(base.checksum, valgrind.checksum, "{}", w.name());
+        rows.push(vec![
+            w.name().to_string(),
+            format!("{:.2}", ours.cycles as f64 / 1e6),
+            format!("{:.2}", valgrind.cycles as f64 / 1e6),
+            format!("{:.2}", ratio(ours.cycles, base.cycles)),
+            format!("{:.2}", ratio(valgrind.cycles, base.cycles)),
+        ]);
+    }
+    println!("Table 2: Comparison with Valgrind. Our slowdown is Ratio 1 from Table 1.\n");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Note: Valgrind's dangling detection is heuristic — once a freed\n\
+         block leaves its quarantine and is recycled, later dangling uses\n\
+         are silently missed. Ours detects them arbitrarily far in the\n\
+         future (see `cargo test -p dangle-baselines`)."
+    );
+}

@@ -1,0 +1,81 @@
+//! Regenerates the paper's **§4.3 study**: virtual-address-space usage and
+//! wastage of long-lived pools in the server daemons.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin wastage
+//! ```
+//!
+//! Expected shape (paper): ghttpd performs one allocation per connection
+//! (no wastage); ftpd consumes 5–6 pages per command out of
+//! connection-global pools; telnetd consumes 45 pages per session; and the
+//! fork-per-connection model means wastage never carries across
+//! connections — steady-state VA growth is zero.
+
+use dangle_interp::backend::ShadowPoolBackend;
+use dangle_vmm::Machine;
+use dangle_workloads::servers::{Ftpd, Ghttpd, Telnetd, Tftpd};
+use dangle_workloads::Workload;
+
+/// Virtual pages consumed by one run of `w` under the full detector.
+fn consumed(w: &dyn Workload) -> u64 {
+    let mut machine = Machine::new();
+    let mut backend = ShadowPoolBackend::new();
+    w.run(&mut machine, &mut backend).expect("workload must succeed");
+    machine.virt_pages_consumed()
+}
+
+fn main() {
+    println!("§4.3: Address space usage within and across connections (Our approach).\n");
+
+    // Per-connection / per-command / per-session consumption: measured as
+    // the marginal VA of one more unit *before* any cross-unit reuse, i.e.
+    // with a single unit in a fresh process image.
+    let ghttpd_1 = consumed(&Ghttpd { connections: 1, response_bytes: 24_000 });
+    let ghttpd_steady = {
+        let a = consumed(&Ghttpd { connections: 2, response_bytes: 24_000 });
+        let b = consumed(&Ghttpd { connections: 12, response_bytes: 24_000 });
+        (b - a) as f64 / 10.0
+    };
+
+    let ftpd_cmd = {
+        // Marginal pages per additional command within one connection.
+        let one = consumed(&Ftpd { connections: 1, commands_per_connection: 2, file_bytes: 16_000 });
+        let two = consumed(&Ftpd { connections: 1, commands_per_connection: 6, file_bytes: 16_000 });
+        (two - one) as f64 / 4.0
+    };
+    let ftpd_steady = {
+        let a = consumed(&Ftpd { connections: 2, commands_per_connection: 4, file_bytes: 16_000 });
+        let b = consumed(&Ftpd { connections: 10, commands_per_connection: 4, file_bytes: 16_000 });
+        (b - a) as f64 / 8.0
+    };
+
+    let telnetd_session = consumed(&Telnetd { sessions: 1, exchanges: 50 });
+    let telnetd_steady = {
+        let a = consumed(&Telnetd { sessions: 2, exchanges: 50 });
+        let b = consumed(&Telnetd { sessions: 10, exchanges: 50 });
+        (b - a) as f64 / 8.0
+    };
+
+    let tftpd_cmd = consumed(&Tftpd { commands: 1, file_bytes: 12_000 });
+    let tftpd_steady = {
+        let a = consumed(&Tftpd { commands: 2, file_bytes: 12_000 });
+        let b = consumed(&Tftpd { commands: 10, file_bytes: 12_000 });
+        (b - a) as f64 / 8.0
+    };
+
+    println!("ghttpd : {ghttpd_1:>5} pages for a 1-connection process (1 allocation/conn)");
+    println!("         steady-state growth {ghttpd_steady:.1} pages/connection (paper: no wastage)");
+    println!("ftpd   : {ftpd_cmd:.1} marginal pages/command within a connection (paper: 5-6)");
+    println!("         steady-state growth {ftpd_steady:.1} pages/connection across connections");
+    println!("telnetd: {telnetd_session:>5} pages for one session (paper: 45 allocations/session)");
+    println!("         steady-state growth {telnetd_steady:.1} pages/session");
+    println!("tftpd  : {tftpd_cmd:>5} pages for one command-process");
+    println!("         steady-state growth {tftpd_steady:.1} pages/command");
+    println!();
+    println!(
+        "With pooldestroy at process exit feeding the shared page free\n\
+         list, steady-state growth collapses to ~0: wastage in one\n\
+         connection is not carried over to the next — the fork-per-request\n\
+         model 'fits well with our approach' (§4.3)."
+    );
+}

@@ -1,0 +1,207 @@
+//! # dangle-bench — harnesses regenerating the paper's evaluation
+//!
+//! One binary per table/study (all print the paper-style rows):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `cargo run -p dangle-bench --bin table1` | Table 1 — utility & server overheads across the five configurations |
+//! | `cargo run -p dangle-bench --bin table2` | Table 2 — comparison with the Valgrind-style checker |
+//! | `cargo run -p dangle-bench --bin table3` | Table 3 — allocation-intensive Olden overheads |
+//! | `cargo run -p dangle-bench --bin wastage` | §4.3 — address-space wastage of long-lived pools |
+//! | `cargo run -p dangle-bench --bin exhaustion` | §3.4 — virtual-address-space lifetime analysis |
+//! | `cargo run -p dangle-bench --bin ablation` | extra — cost/geometry/design ablations |
+//! | `cargo run -p dangle-bench --bin soundness` | extra — detection-rate study on random programs with injected bugs |
+//!
+//! Times are **simulated cycles** from the machine's calibrated cost model;
+//! the *ratios* are the reproducible quantities (see EXPERIMENTS.md for the
+//! fidelity discussion).
+
+use dangle_interp::backend::{
+    Backend, CapabilityBackend, EFenceBackend, MemcheckBackend, NativeBackend, PoolBackend,
+    ShadowBackend, ShadowPoolBackend,
+};
+use dangle_vmm::{Machine, MachineConfig, MachineStats};
+use dangle_workloads::Workload;
+
+/// The measurement configurations of Tables 1 and 3, plus the baseline
+/// detectors for Table 2 and the related-work comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Config {
+    /// Plain malloc ("native" column; we do not model compiler codegen
+    /// differences, so this equals "LLVM base" — see EXPERIMENTS.md).
+    Native,
+    /// Plain malloc, baseline for Ratio 1 ("LLVM (base)" column).
+    Base,
+    /// Automatic Pool Allocation only ("PA").
+    Pa,
+    /// PA plus a no-op syscall per (de)allocation ("PA + dummy syscalls").
+    PaDummy,
+    /// The paper's detector: shadow pages + pool VA recycling ("Our
+    /// approach").
+    Ours,
+    /// Insight 1 only (shadow pages, no pools) — debugging mode.
+    ShadowOnly,
+    /// Electric Fence (object per virtual *and* physical page).
+    EFence,
+    /// Valgrind-memcheck-style software checking.
+    Memcheck,
+    /// SafeC/Xu-style capability checking.
+    Capability,
+}
+
+impl Config {
+    /// Column label used in the printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Config::Native => "native",
+            Config::Base => "LLVM (base)",
+            Config::Pa => "PA",
+            Config::PaDummy => "PA + dummy syscalls",
+            Config::Ours => "Our approach",
+            Config::ShadowOnly => "shadow (no pools)",
+            Config::EFence => "Electric Fence",
+            Config::Memcheck => "Valgrind",
+            Config::Capability => "capability store",
+        }
+    }
+
+    /// Instantiates the scheme.
+    pub fn backend(&self) -> Box<dyn Backend> {
+        match self {
+            Config::Native | Config::Base => Box::new(NativeBackend::new()),
+            Config::Pa => Box::new(PoolBackend::new()),
+            Config::PaDummy => Box::new(PoolBackend::with_dummy_syscalls()),
+            Config::Ours => Box::new(ShadowPoolBackend::new()),
+            Config::ShadowOnly => Box::new(ShadowBackend::new()),
+            Config::EFence => Box::new(EFenceBackend::new()),
+            Config::Memcheck => Box::new(MemcheckBackend::new()),
+            Config::Capability => Box::new(CapabilityBackend::new()),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Workload checksum (must agree across configurations).
+    pub checksum: u64,
+    /// Machine counters at completion.
+    pub stats: MachineStats,
+}
+
+/// Runs `workload` under `config` on a calibrated machine.
+///
+/// # Panics
+/// Panics if the workload fails (correct workloads never trigger a
+/// detection).
+pub fn measure(workload: &dyn Workload, config: Config) -> Measurement {
+    measure_with(workload, config, MachineConfig::default())
+}
+
+/// Runs `workload` under `config` with an explicit machine configuration
+/// (used by the ablation sweeps).
+///
+/// # Panics
+/// Panics if the workload fails.
+pub fn measure_with(
+    workload: &dyn Workload,
+    config: Config,
+    machine_config: MachineConfig,
+) -> Measurement {
+    let mut machine = Machine::with_config(machine_config);
+    let mut backend = config.backend();
+    let checksum = workload
+        .run(&mut machine, backend.as_mut())
+        .unwrap_or_else(|e| panic!("{} under {:?}: {e}", workload.name(), config));
+    Measurement { cycles: machine.clock(), checksum, stats: *machine.stats() }
+}
+
+/// `a / b` as a ratio with two decimals.
+pub fn ratio(a: u64, b: u64) -> f64 {
+    a as f64 / b.max(1) as f64
+}
+
+/// Formats cycles in millions.
+pub fn mcycles(c: u64) -> String {
+    format!("{:.2}", c as f64 / 1.0e6)
+}
+
+/// Renders an ASCII table: a header row then data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$} | ", c, w = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangle_workloads::servers::Ghttpd;
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let w = Ghttpd { connections: 2, response_bytes: 2000 };
+        let a = measure(&w, Config::Ours);
+        let b = measure(&w, Config::Ours);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn checksums_agree_across_configs() {
+        let w = Ghttpd { connections: 2, response_bytes: 2000 };
+        let native = measure(&w, Config::Native);
+        for c in [Config::Pa, Config::PaDummy, Config::Ours, Config::Memcheck] {
+            assert_eq!(measure(&w, c).checksum, native.checksum, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn ours_costs_more_than_native_but_not_wildly_for_servers() {
+        let w = Ghttpd { connections: 4, response_bytes: 8000 };
+        let native = measure(&w, Config::Native);
+        let ours = measure(&w, Config::Ours);
+        let r = ratio(ours.cycles, native.cycles);
+        assert!(r >= 1.0, "detector cannot be free: {r}");
+        assert!(r < 1.3, "server overhead must be small: {r}");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = render_table(
+            &["a", "bench"],
+            &[vec!["1".into(), "x".into()], vec!["2".into(), "y".into()]],
+        );
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("bench"));
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(10, 0), 10.0);
+    }
+}

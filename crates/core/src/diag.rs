@@ -1,0 +1,317 @@
+//! Diagnostics: turning raw MMU traps into actionable dangling-pointer
+//! reports.
+//!
+//! The real system catches SIGSEGV and maps the faulting address back to an
+//! object. The simulator does the same: the detector keeps a registry from
+//! shadow pages to object records (allocation site, free site, extent), and
+//! [`explain`](crate::ShadowHeap::explain) converts a [`Trap`] into a
+//! [`DanglingReport`].
+
+use dangle_vmm::{AccessKind, PageNum, Trap, VirtAddr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned source location ("site"): a `malloc`/`free` call site, a
+/// function name, a line — whatever granularity the embedder wants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The anonymous site used when the caller does not tag operations.
+    pub const UNKNOWN: SiteId = SiteId(0);
+}
+
+/// Interns human-readable site labels.
+#[derive(Debug, Clone)]
+pub struct SiteTable {
+    names: Vec<String>,
+}
+
+impl SiteTable {
+    /// Creates a table containing only the `<unknown>` site.
+    pub fn new() -> SiteTable {
+        SiteTable { names: vec!["<unknown>".to_string()] }
+    }
+
+    /// Interns `name`, returning its id (existing id if already interned).
+    pub fn intern(&mut self, name: &str) -> SiteId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return SiteId(i as u32);
+        }
+        self.names.push(name.to_string());
+        SiteId(self.names.len() as u32 - 1)
+    }
+
+    /// The label of `site`.
+    pub fn name(&self, site: SiteId) -> &str {
+        self.names.get(site.0 as usize).map_or("<invalid site>", String::as_str)
+    }
+}
+
+impl Default for SiteTable {
+    fn default() -> SiteTable {
+        SiteTable::new()
+    }
+}
+
+/// Lifecycle state of a tracked object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectState {
+    /// Allocated, not yet freed.
+    Live,
+    /// Freed; its shadow pages are protected.
+    Freed {
+        /// Where the free happened.
+        free_site: SiteId,
+    },
+}
+
+/// What the detector knows about one allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// The (shadow) address handed to the program.
+    pub base: VirtAddr,
+    /// Requested size in bytes.
+    pub size: usize,
+    /// Where the allocation happened.
+    pub alloc_site: SiteId,
+    /// Live or freed.
+    pub state: ObjectState,
+}
+
+/// The kind of dangling use detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DanglingKind {
+    /// A load through a pointer to freed memory.
+    Read,
+    /// A store through a pointer to freed memory.
+    Write,
+    /// A second `free` of the same object.
+    DoubleFree,
+}
+
+impl fmt::Display for DanglingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DanglingKind::Read => write!(f, "dangling read"),
+            DanglingKind::Write => write!(f, "dangling write"),
+            DanglingKind::DoubleFree => write!(f, "double free"),
+        }
+    }
+}
+
+/// A fully attributed dangling-pointer diagnosis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DanglingReport {
+    /// The kind of misuse.
+    pub kind: DanglingKind,
+    /// The faulting address.
+    pub fault_addr: VirtAddr,
+    /// The object the fault landed in.
+    pub object: ObjectRecord,
+}
+
+impl DanglingReport {
+    /// Renders the report with site names from `sites`.
+    pub fn render(&self, sites: &SiteTable) -> String {
+        let free_site = match self.object.state {
+            ObjectState::Freed { free_site } => sites.name(free_site).to_string(),
+            ObjectState::Live => "<not freed>".to_string(),
+        };
+        format!(
+            "{} at {} (offset {} into {}-byte object allocated at `{}`, freed at `{}`)",
+            self.kind,
+            self.fault_addr,
+            self.fault_addr.raw().saturating_sub(self.object.base.raw()),
+            self.object.size,
+            sites.name(self.object.alloc_site),
+            free_site,
+        )
+    }
+}
+
+/// Registry from shadow pages to object records.
+///
+/// One record per allocation; multi-page objects register every page. For
+/// the heap detector records persist forever (shadow pages are never
+/// reused); for the pool detector records are dropped when their pool is
+/// destroyed (the APA contract says no pointer can fault there any more).
+#[derive(Debug, Default)]
+pub struct ObjectRegistry {
+    records: Vec<ObjectRecord>,
+    by_page: HashMap<PageNum, usize>,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ObjectRegistry {
+        ObjectRegistry::default()
+    }
+
+    /// Registers a new live object whose payload starts at `base` (shadow
+    /// address) and spans `size` bytes; `span` lists the shadow pages,
+    /// starting with the page containing the detector's hidden word.
+    pub fn insert(&mut self, base: VirtAddr, size: usize, alloc_site: SiteId, span: &[PageNum]) {
+        let idx = self.records.len();
+        self.records.push(ObjectRecord {
+            base,
+            size,
+            alloc_site,
+            state: ObjectState::Live,
+        });
+        for &p in span {
+            self.by_page.insert(p, idx);
+        }
+    }
+
+    /// Marks the object at `base` freed.
+    pub fn mark_freed(&mut self, base: VirtAddr, free_site: SiteId) {
+        if let Some(&idx) = self.by_page.get(&base.page()) {
+            self.records[idx].state = ObjectState::Freed { free_site };
+        }
+    }
+
+    /// Looks up the object owning `addr`, if any.
+    pub fn lookup(&self, addr: VirtAddr) -> Option<&ObjectRecord> {
+        self.by_page.get(&addr.page()).map(|&i| &self.records[i])
+    }
+
+    /// Drops the records registered for `pages` (pool destroy).
+    pub fn forget_pages(&mut self, pages: &[PageNum]) {
+        for p in pages {
+            self.by_page.remove(p);
+        }
+    }
+
+    /// Number of page entries currently tracked.
+    pub fn tracked_pages(&self) -> usize {
+        self.by_page.len()
+    }
+
+    /// Iterates over records that are still reachable from some page entry.
+    pub fn live_records(&self) -> impl Iterator<Item = &ObjectRecord> {
+        let mut seen: Vec<usize> = self.by_page.values().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter().map(|i| &self.records[i]).collect::<Vec<_>>().into_iter()
+    }
+
+    /// Builds a [`DanglingReport`] for `trap` if it falls in a tracked
+    /// object. `double_free` forces the kind (used by `free` paths, where
+    /// the faulting access is the detector's own header read).
+    pub fn explain(&self, trap: &Trap, double_free: bool) -> Option<DanglingReport> {
+        let addr = trap.addr()?;
+        if !trap.is_access_violation() {
+            return None;
+        }
+        let object = *self.lookup(addr)?;
+        let kind = if double_free {
+            DanglingKind::DoubleFree
+        } else {
+            match trap {
+                Trap::Protection { access: AccessKind::Write, .. }
+                | Trap::Unmapped { access: AccessKind::Write, .. } => DanglingKind::Write,
+                _ => DanglingKind::Read,
+            }
+        };
+        Some(DanglingReport { kind, fault_addr: addr, object })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangle_vmm::Protection;
+
+    #[test]
+    fn site_table_interns_and_dedups() {
+        let mut t = SiteTable::new();
+        let a = t.intern("f");
+        let b = t.intern("g");
+        assert_eq!(t.intern("f"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "f");
+        assert_eq!(t.name(SiteId::UNKNOWN), "<unknown>");
+        assert_eq!(t.name(SiteId(999)), "<invalid site>");
+    }
+
+    #[test]
+    fn registry_lookup_by_any_page_of_span() {
+        let mut r = ObjectRegistry::new();
+        let base = PageNum(10).base().add(100);
+        r.insert(base, 8000, SiteId(1), &[PageNum(10), PageNum(11)]);
+        assert!(r.lookup(PageNum(10).base().add(4000)).is_some());
+        assert!(r.lookup(PageNum(11).base()).is_some());
+        assert!(r.lookup(PageNum(12).base()).is_none());
+    }
+
+    #[test]
+    fn explain_classifies_kinds() {
+        let mut r = ObjectRegistry::new();
+        let base = PageNum(5).base().add(8);
+        r.insert(base, 16, SiteId(2), &[PageNum(5)]);
+        r.mark_freed(base, SiteId(3));
+
+        let read_trap = Trap::Protection {
+            addr: base,
+            prot: Protection::None,
+            access: AccessKind::Read,
+        };
+        let rep = r.explain(&read_trap, false).unwrap();
+        assert_eq!(rep.kind, DanglingKind::Read);
+        assert_eq!(rep.object.state, ObjectState::Freed { free_site: SiteId(3) });
+
+        let write_trap = Trap::Protection {
+            addr: base.add(4),
+            prot: Protection::None,
+            access: AccessKind::Write,
+        };
+        assert_eq!(r.explain(&write_trap, false).unwrap().kind, DanglingKind::Write);
+        assert_eq!(r.explain(&write_trap, true).unwrap().kind, DanglingKind::DoubleFree);
+    }
+
+    #[test]
+    fn explain_ignores_untracked_and_non_access_traps() {
+        let r = ObjectRegistry::new();
+        let t = Trap::Protection {
+            addr: VirtAddr(0x9000),
+            prot: Protection::None,
+            access: AccessKind::Read,
+        };
+        assert!(r.explain(&t, false).is_none());
+        assert!(r.explain(&Trap::OutOfPhysicalMemory, false).is_none());
+    }
+
+    #[test]
+    fn forget_pages_removes_entries() {
+        let mut r = ObjectRegistry::new();
+        r.insert(PageNum(1).base(), 8, SiteId(0), &[PageNum(1)]);
+        r.insert(PageNum(2).base(), 8, SiteId(0), &[PageNum(2)]);
+        assert_eq!(r.tracked_pages(), 2);
+        r.forget_pages(&[PageNum(1)]);
+        assert_eq!(r.tracked_pages(), 1);
+        assert!(r.lookup(PageNum(1).base()).is_none());
+    }
+
+    #[test]
+    fn report_renders_sites() {
+        let mut sites = SiteTable::new();
+        let a = sites.intern("create_list");
+        let f = sites.intern("free_all_but_head");
+        let rep = DanglingReport {
+            kind: DanglingKind::Read,
+            fault_addr: VirtAddr(0x5010),
+            object: ObjectRecord {
+                base: VirtAddr(0x5008),
+                size: 24,
+                alloc_site: a,
+                state: ObjectState::Freed { free_site: f },
+            },
+        };
+        let s = rep.render(&sites);
+        assert!(s.contains("dangling read"), "{s}");
+        assert!(s.contains("create_list"), "{s}");
+        assert!(s.contains("free_all_but_head"), "{s}");
+        assert!(s.contains("24-byte"), "{s}");
+    }
+}

@@ -1,0 +1,280 @@
+//! A real Linux backend for Insight 1 (feature `os`).
+//!
+//! Everything else in this workspace runs on the simulated MMU so that
+//! traps are catchable values and costs are deterministic. This module
+//! demonstrates that the mechanism is not a simulation artifact: it
+//! implements canonical/shadow page aliasing with the *actual* kernel.
+//!
+//! The paper uses `mremap(old, 0, len)` to alias pages (a Linux quirk that
+//! only works on shared mappings). The portable-modern equivalent used
+//! here: back the canonical heap with a `memfd` and map additional views
+//! of the same file offsets — identical semantics, same syscall count
+//! per operation (one `mmap` per allocation, one `mprotect` per free).
+//!
+//! On `free`, the shadow view is protected `PROT_NONE`; any later use of
+//! the stale pointer raises a real SIGSEGV. The `os_demo` example catches
+//! it in a forked child. The canonical offset is recycled freely — physical
+//! memory (the memfd pages) is shared and reused exactly as §3.2 promises.
+
+use std::io;
+
+/// A real-OS allocation: a shadow view of canonical memfd pages.
+#[derive(Debug)]
+pub struct OsAllocation {
+    shadow: *mut u8,
+    /// Offset of the payload within the shadow mapping's first page.
+    offset: usize,
+    /// Shadow mapping length in bytes (whole pages).
+    map_len: usize,
+    /// Payload size.
+    size: usize,
+    /// Byte offset of the payload in the backing memfd.
+    file_offset: usize,
+    freed: bool,
+}
+
+impl OsAllocation {
+    /// The usable payload pointer (valid until [`OsAliasArena::free`]).
+    pub fn as_ptr(&self) -> *mut u8 {
+        // SAFETY: shadow + offset stays within the mapping by construction.
+        unsafe { self.shadow.add(self.offset) }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Offset of the payload in the backing file (the "canonical address").
+    pub fn file_offset(&self) -> usize {
+        self.file_offset
+    }
+
+    /// Writes `data` at `at` through the shadow view.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the allocation.
+    ///
+    /// Note: after [`OsAliasArena::free`], calling this crashes the process
+    /// with SIGSEGV — that is the detector working. Use a forked child to
+    /// observe it (see the `os_demo` example).
+    pub fn write(&self, at: usize, data: &[u8]) {
+        assert!(at + data.len() <= self.size, "write out of bounds");
+        // SAFETY: in-bounds per the assert; aliasing is fine (u8 bytes).
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.as_ptr().add(at), data.len());
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `at` through the shadow view.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the allocation. SIGSEGVs if freed (the
+    /// detection).
+    pub fn read(&self, at: usize, buf: &mut [u8]) {
+        assert!(at + buf.len() <= self.size, "read out of bounds");
+        // SAFETY: in-bounds per the assert.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.as_ptr().add(at), buf.as_mut_ptr(), buf.len());
+        }
+    }
+}
+
+/// The canonical arena: a memfd with one `MAP_SHARED` canonical view,
+/// handing out per-allocation shadow views.
+#[derive(Debug)]
+pub struct OsAliasArena {
+    fd: libc::c_int,
+    canonical: *mut u8,
+    len: usize,
+    bump: usize,
+    page: usize,
+}
+
+impl OsAliasArena {
+    /// Creates an arena backed by `len` bytes of anonymous shared memory.
+    ///
+    /// # Errors
+    /// Returns the OS error if `memfd_create`, `ftruncate` or `mmap` fail.
+    pub fn new(len: usize) -> io::Result<OsAliasArena> {
+        // SAFETY: plain syscalls; we check every return value.
+        unsafe {
+            let fd = libc::syscall(libc::SYS_memfd_create, c"dangle-arena".as_ptr(), 0u32)
+                as libc::c_int;
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            if libc::ftruncate(fd, len as libc::off_t) != 0 {
+                let e = io::Error::last_os_error();
+                libc::close(fd);
+                return Err(e);
+            }
+            let canonical = libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            );
+            if canonical == libc::MAP_FAILED {
+                let e = io::Error::last_os_error();
+                libc::close(fd);
+                return Err(e);
+            }
+            let page = libc::sysconf(libc::_SC_PAGESIZE) as usize;
+            Ok(OsAliasArena { fd, canonical: canonical.cast(), len, bump: 0, page })
+        }
+    }
+
+    /// Allocates `size` bytes: bump-allocates canonical space in the memfd
+    /// (objects share pages, like a real malloc) and maps a fresh shadow
+    /// view of the containing pages.
+    ///
+    /// # Errors
+    /// Returns the OS error on `mmap` failure or arena exhaustion.
+    pub fn alloc(&mut self, size: usize) -> io::Result<OsAllocation> {
+        let size = size.max(1);
+        let file_offset = self.bump;
+        if file_offset + size > self.len {
+            return Err(io::Error::new(io::ErrorKind::OutOfMemory, "arena exhausted"));
+        }
+        self.bump += (size + 7) & !7;
+        let page_start = file_offset / self.page * self.page;
+        let offset = file_offset - page_start;
+        let map_len = (offset + size).div_ceil(self.page) * self.page;
+        // SAFETY: mapping a fresh view of our own fd; checked below.
+        let shadow = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                self.fd,
+                page_start as libc::off_t,
+            )
+        };
+        if shadow == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(OsAllocation {
+            shadow: shadow.cast(),
+            offset,
+            map_len,
+            size,
+            file_offset,
+            freed: false,
+        })
+    }
+
+    /// Frees the allocation: `mprotect(PROT_NONE)` on its shadow view. Any
+    /// later use of [`OsAllocation::as_ptr`] memory raises SIGSEGV.
+    ///
+    /// # Errors
+    /// Returns the OS error if `mprotect` fails, or `InvalidInput` on a
+    /// double free (detected here via bookkeeping; through a *raw stale
+    /// pointer* the kernel detects it instead).
+    pub fn free(&mut self, alloc: &mut OsAllocation) -> io::Result<()> {
+        if alloc.freed {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "double free"));
+        }
+        // SAFETY: protecting our own mapping.
+        let rc = unsafe {
+            libc::mprotect(alloc.shadow.cast(), alloc.map_len, libc::PROT_NONE)
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        alloc.freed = true;
+        Ok(())
+    }
+
+    /// Reads a byte through the *canonical* view (the allocator's own view;
+    /// always accessible — physical memory is shared and reusable).
+    ///
+    /// # Panics
+    /// Panics if `file_offset` is outside the arena.
+    pub fn canonical_byte(&self, file_offset: usize) -> u8 {
+        assert!(file_offset < self.len);
+        // SAFETY: in-bounds read of the canonical mapping.
+        unsafe { *self.canonical.add(file_offset) }
+    }
+}
+
+impl Drop for OsAliasArena {
+    fn drop(&mut self) {
+        // SAFETY: unmapping/closing what we created; errors ignored in drop.
+        unsafe {
+            libc::munmap(self.canonical.cast(), self.len);
+            libc::close(self.fd);
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliasing_shares_physical_storage() {
+        let mut arena = OsAliasArena::new(1 << 20).unwrap();
+        let a = arena.alloc(64).unwrap();
+        let b = arena.alloc(64).unwrap();
+        a.write(0, b"hello shadow pages");
+        // Visible through the canonical view at the allocation's offset.
+        assert_eq!(arena.canonical_byte(a.file_offset()), b'h');
+        // Two objects in one physical page, two distinct shadow views.
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a.file_offset() / 4096, b.file_offset() / 4096);
+        let mut buf = [0u8; 5];
+        a.read(0, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn freed_memory_still_reachable_canonically() {
+        let mut arena = OsAliasArena::new(1 << 20).unwrap();
+        let mut a = arena.alloc(16).unwrap();
+        a.write(0, &[0xAB]);
+        arena.free(&mut a).unwrap();
+        // The physical page is still usable by the allocator.
+        assert_eq!(arena.canonical_byte(a.file_offset()), 0xAB);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut arena = OsAliasArena::new(1 << 20).unwrap();
+        let mut a = arena.alloc(16).unwrap();
+        arena.free(&mut a).unwrap();
+        assert!(arena.free(&mut a).is_err());
+    }
+
+    #[test]
+    fn dangling_use_raises_sigsegv_in_child() {
+        let mut arena = OsAliasArena::new(1 << 20).unwrap();
+        let mut a = arena.alloc(32).unwrap();
+        a.write(0, &[1, 2, 3]);
+        arena.free(&mut a).unwrap();
+        // SAFETY: fork + immediate deterministic child that only touches
+        // the freed mapping and exits; the parent waits for it.
+        unsafe {
+            let pid = libc::fork();
+            assert!(pid >= 0, "fork failed");
+            if pid == 0 {
+                // Child: the dangling read. This must die with SIGSEGV.
+                let v = std::ptr::read_volatile(a.as_ptr());
+                // Unreachable if the detector works:
+                libc::_exit(i32::from(v == 0));
+            }
+            let mut status = 0;
+            assert_eq!(libc::waitpid(pid, &mut status, 0), pid);
+            assert!(libc::WIFSIGNALED(status), "child must die from a signal");
+            assert_eq!(libc::WTERMSIG(status), libc::SIGSEGV);
+        }
+    }
+}

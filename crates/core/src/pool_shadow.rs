@@ -1,0 +1,445 @@
+//! `ShadowPool`: Insights 1 **and** 2 — the paper's full approach.
+//!
+//! The shadow-page mechanism of [`crate::ShadowHeap`] applied *within each
+//! pool* created by the Automatic Pool Allocation transform (§3.3):
+//!
+//! * `poolalloc` allocates from the pool's canonical pages and remaps a
+//!   fresh shadow view per object;
+//! * `poolfree` protects the object's shadow pages and returns the
+//!   canonical block to the pool;
+//! * `pooldestroy` releases **all** canonical and shadow pages of the pool
+//!   to the shared free list — the compiler has proved no pointer into the
+//!   pool survives, so recycling those virtual pages cannot mask a dangling
+//!   use.
+//!
+//! This turns the basic scheme's unbounded virtual-address growth into
+//! growth proportional to the *live* pools only, which the paper's §4.3
+//! measurements show is tiny for real servers.
+
+use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
+use dangle_heap::{AllocError, AllocStats};
+use dangle_pool::{PoolConfig, PoolError, PoolId, PoolSet};
+use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
+use std::collections::HashMap;
+
+use crate::shadow::SHADOW_WORD;
+
+/// One freed object's shadow span, kept per pool for the §3.4 GC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreedSpan {
+    /// First shadow page of the span.
+    pub base: PageNum,
+    /// Number of pages.
+    pub span: usize,
+}
+
+/// The pool-based shadow-page detector (the paper's production
+/// configuration). See the [module docs](self).
+///
+/// ```rust
+/// use dangle_core::ShadowPool;
+/// use dangle_vmm::Machine;
+///
+/// # fn main() -> Result<(), dangle_pool::PoolError> {
+/// let mut m = Machine::new();
+/// let mut sp = ShadowPool::new();
+/// let pp = sp.create(16);
+/// let node = sp.alloc(&mut m, pp, 16)?;
+/// m.store_u64(node, 1)?;
+/// sp.free(&mut m, pp, node)?;
+/// assert!(m.load_u64(node).is_err(), "dangling use trapped");
+/// sp.destroy(&mut m, pp)?; // every page becomes reusable
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ShadowPool {
+    pools: PoolSet,
+    registry: ObjectRegistry,
+    sites: SiteTable,
+    stats: AllocStats,
+    /// Shadow pages registered per pool (for registry cleanup at destroy).
+    shadow_pages: HashMap<PoolId, Vec<PageNum>>,
+    /// Freed-object shadow spans per pool (candidates for the §3.4 GC).
+    freed: HashMap<PoolId, Vec<FreedSpan>>,
+    /// Live objects per pool: user address -> size. Scanned by the GC.
+    live: HashMap<PoolId, HashMap<VirtAddr, usize>>,
+    last_report: Option<DanglingReport>,
+}
+
+impl ShadowPool {
+    /// Creates a detector with a default pool configuration.
+    pub fn new() -> ShadowPool {
+        ShadowPool::default()
+    }
+
+    /// Creates a detector with an explicit pool configuration.
+    pub fn with_config(config: PoolConfig) -> ShadowPool {
+        ShadowPool { pools: PoolSet::with_config(config), ..ShadowPool::default() }
+    }
+
+    /// `poolinit`. See [`PoolSet::create`].
+    pub fn create(&mut self, elem_hint: usize) -> PoolId {
+        let id = self.pools.create(elem_hint);
+        self.shadow_pages.insert(id, Vec::new());
+        self.freed.insert(id, Vec::new());
+        self.live.insert(id, HashMap::new());
+        id
+    }
+
+    /// `poolalloc` + shadow remap, tagged with an allocation site.
+    ///
+    /// # Errors
+    /// As for [`PoolSet::alloc`].
+    pub fn alloc_at(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        size: usize,
+        site: SiteId,
+    ) -> Result<VirtAddr, PoolError> {
+        let total = size
+            .checked_add(SHADOW_WORD)
+            .ok_or(PoolError::Alloc(AllocError::TooLarge { size }))?;
+        let canon = self.pools.alloc(machine, pool, total)?;
+        let span = canon.span_pages(total);
+        let canon_page = canon.page();
+        // Shadow pages also recycle virtual addresses from the shared free
+        // list; multi-page spans take contiguous runs.
+        let shadow_base = match self.pools.take_free_run(span) {
+            Some(pg) => {
+                machine.alias_fixed(canon_page.base(), pg.base(), span)?;
+                pg.base()
+            }
+            None => machine.mremap_alias(canon_page.base(), span)?,
+        };
+        let pages: Vec<PageNum> =
+            (0..span as u64).map(|i| shadow_base.page().add(i)).collect();
+        for &pg in &pages {
+            self.pools.register_extra_page(pool, pg)?;
+        }
+        self.shadow_pages.entry(pool).or_default().extend(&pages);
+        let shadow_hidden = shadow_base.add(canon.offset() as u64);
+        machine.store_u64(shadow_hidden, canon_page.base().raw())?;
+        let user = shadow_hidden.add(SHADOW_WORD as u64);
+        self.registry.insert(user, size, site, &pages);
+        self.live.entry(pool).or_default().insert(user, size);
+        self.stats.note_alloc(size);
+        Ok(user)
+    }
+
+    /// `poolalloc` + shadow remap (untagged).
+    ///
+    /// # Errors
+    /// As for [`PoolSet::alloc`].
+    pub fn alloc(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        size: usize,
+    ) -> Result<VirtAddr, PoolError> {
+        self.alloc_at(machine, pool, size, SiteId::UNKNOWN)
+    }
+
+    /// `poolfree` + shadow protect, tagged with a free site.
+    ///
+    /// # Errors
+    /// A double free surfaces as a trap on the hidden-word read (see
+    /// [`ShadowPool::last_report`]); a wild pointer as
+    /// [`AllocError::InvalidFree`].
+    pub fn free_at(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        addr: VirtAddr,
+        site: SiteId,
+    ) -> Result<(), PoolError> {
+        if addr.raw() < SHADOW_WORD as u64 {
+            return Err(AllocError::InvalidFree { addr }.into());
+        }
+        let hidden = addr.sub(SHADOW_WORD as u64);
+        let canon_page = match machine.load_u64(hidden) {
+            Ok(w) => w,
+            Err(trap) => {
+                self.last_report = self.registry.explain(&trap, true);
+                return Err(trap.into());
+            }
+        };
+        if canon_page & PAGE_MASK != 0 || canon_page == 0 {
+            return Err(AllocError::InvalidFree { addr }.into());
+        }
+        let canon_hidden = VirtAddr(canon_page + hidden.offset() as u64);
+        let total = self.pools.size_of(machine, canon_hidden)?;
+        let span = hidden.span_pages(total);
+        machine.mprotect(hidden.page().base(), span, Protection::None)?;
+        self.pools.free(machine, pool, canon_hidden)?;
+        self.registry.mark_freed(addr, site);
+        self.freed
+            .entry(pool)
+            .or_default()
+            .push(FreedSpan { base: hidden.page(), span });
+        self.live.entry(pool).or_default().remove(&addr);
+        self.stats.note_free(total - SHADOW_WORD);
+        Ok(())
+    }
+
+    /// `poolfree` + shadow protect (untagged).
+    ///
+    /// # Errors
+    /// See [`ShadowPool::free_at`].
+    pub fn free(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        addr: VirtAddr,
+    ) -> Result<(), PoolError> {
+        self.free_at(machine, pool, addr, SiteId::UNKNOWN)
+    }
+
+    /// `pooldestroy`: recycles every canonical and shadow page of the pool
+    /// through the shared free list and drops its diagnostics (no pointer
+    /// into the pool can fault any more — the APA contract).
+    ///
+    /// # Errors
+    /// As for [`PoolSet::destroy`].
+    pub fn destroy(&mut self, machine: &mut Machine, pool: PoolId) -> Result<(), PoolError> {
+        let shadow = self.shadow_pages.remove(&pool).unwrap_or_default();
+        self.pools.destroy(machine, pool)?;
+        self.registry.forget_pages(&shadow);
+        self.freed.remove(&pool);
+        self.live.remove(&pool);
+        Ok(())
+    }
+
+    /// Attributes a program-level MMU trap to the freed object it hit.
+    pub fn explain(&self, trap: &Trap) -> Option<DanglingReport> {
+        self.registry.explain(trap, false)
+    }
+
+    /// The object record owning `addr`, if tracked (live or freed). Used
+    /// by the combined spatial checker: each object sits alone on its
+    /// shadow pages, so an address on a tracked page that falls outside
+    /// the object's extent is an out-of-bounds access.
+    pub fn object_at(&self, addr: VirtAddr) -> Option<&crate::diag::ObjectRecord> {
+        self.registry.lookup(addr)
+    }
+
+    /// The most recent detector-internal report (double free).
+    pub fn last_report(&self) -> Option<&DanglingReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The site table, for interning allocation/free site labels.
+    pub fn sites_mut(&mut self) -> &mut SiteTable {
+        &mut self.sites
+    }
+
+    /// The site table.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    /// The underlying pool runtime (read-only).
+    pub fn pools(&self) -> &PoolSet {
+        &self.pools
+    }
+
+    /// Records a dynamic pool points-to edge (see
+    /// [`PoolSet::note_pool_edge`]).
+    pub fn note_pool_edge(&mut self, from: PoolId, to: PoolId) {
+        self.pools.note_pool_edge(from, to);
+    }
+
+    /// Live objects of `pool` (user address and size), for the GC scan.
+    pub fn live_objects(&self, pool: PoolId) -> Vec<(VirtAddr, usize)> {
+        self.live
+            .get(&pool)
+            .map(|m| m.iter().map(|(&a, &s)| (a, s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Freed shadow spans of `pool` — GC candidates.
+    pub fn freed_spans(&self, pool: PoolId) -> Vec<FreedSpan> {
+        self.freed.get(&pool).cloned().unwrap_or_default()
+    }
+
+    /// Reclaims a freed shadow span of `pool` after the GC proved it
+    /// unreferenced: removes diagnostics, unregisters the pages from the
+    /// pool, and donates them to the shared free list. Returns the number of
+    /// pages reclaimed (0 if the span was not a candidate).
+    pub fn reclaim_span(&mut self, pool: PoolId, span: FreedSpan) -> usize {
+        let Some(list) = self.freed.get_mut(&pool) else { return 0 };
+        let Some(pos) = list.iter().position(|&s| s == span) else { return 0 };
+        list.remove(pos);
+        let pages: Vec<PageNum> = (0..span.span as u64).map(|i| span.base.add(i)).collect();
+        self.registry.forget_pages(&pages);
+        if let Some(sp) = self.shadow_pages.get_mut(&pool) {
+            sp.retain(|p| !pages.contains(p));
+        }
+        for &pg in &pages {
+            let _ = self.pools.take_extra_page(pool, pg);
+            self.pools.donate_page(pg);
+        }
+        pages.len()
+    }
+
+    /// Aggregate allocation counters (user sizes).
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::DanglingKind;
+
+    fn setup() -> (Machine, ShadowPool) {
+        (Machine::free_running(), ShadowPool::new())
+    }
+
+    #[test]
+    fn detects_use_after_free_within_pool() {
+        let (mut m, mut sp) = setup();
+        let pp = sp.create(16);
+        let p = sp.alloc(&mut m, pp, 16).unwrap();
+        m.store_u64(p, 3).unwrap();
+        sp.free(&mut m, pp, p).unwrap();
+        let trap = m.load_u64(p).unwrap_err();
+        assert_eq!(sp.explain(&trap).unwrap().kind, DanglingKind::Read);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut m, mut sp) = setup();
+        let pp = sp.create(16);
+        let p = sp.alloc(&mut m, pp, 16).unwrap();
+        sp.free(&mut m, pp, p).unwrap();
+        assert!(sp.free(&mut m, pp, p).is_err());
+        assert_eq!(sp.last_report().unwrap().kind, DanglingKind::DoubleFree);
+    }
+
+    #[test]
+    fn destroy_recycles_shadow_and_canonical_pages() {
+        let (mut m, mut sp) = setup();
+        let p1 = sp.create(16);
+        // 3 allocations: 1 canonical page + 3 shadow pages.
+        for _ in 0..3 {
+            sp.alloc(&mut m, p1, 16).unwrap();
+        }
+        sp.destroy(&mut m, p1).unwrap();
+        assert_eq!(sp.pools().free_page_count(), 4);
+
+        // A new pool reuses those pages; after warm-up no fresh VA needed.
+        let consumed = m.virt_pages_consumed();
+        let p2 = sp.create(16);
+        for _ in 0..3 {
+            sp.alloc(&mut m, p2, 16).unwrap();
+        }
+        sp.destroy(&mut m, p2).unwrap();
+        assert_eq!(m.virt_pages_consumed(), consumed, "full VA reuse");
+    }
+
+    #[test]
+    fn figure_1_running_example() {
+        // f() creates a pool, g() builds a 10-node list, frees all but the
+        // head, and f() then dereferences p->next — the paper's Figure 1
+        // dangling error, caught by the MMU.
+        let (mut m, mut sp) = setup();
+        let site_g = {
+            let s = sp.sites_mut();
+            s.intern("g:malloc")
+        };
+        let site_free = sp.sites_mut().intern("free_all_but_head");
+
+        let pp = sp.create(16); // poolinit in f()
+        // create_10_node_list: node = { next: u64, val: u64 }
+        let mut nodes = Vec::new();
+        for _ in 0..10 {
+            nodes.push(sp.alloc_at(&mut m, pp, 16, site_g).unwrap());
+        }
+        for w in nodes.windows(2) {
+            m.store_u64(w[0], w[1].raw()).unwrap(); // p->next
+        }
+        m.store_u64(nodes[9], 0).unwrap();
+        // free_all_but_head
+        for &n in &nodes[1..] {
+            sp.free_at(&mut m, pp, n, site_free).unwrap();
+        }
+        // p->next->val = ...  (dangling!)
+        let next = m.load_u64(nodes[0]).unwrap();
+        let trap = m.store_u64(VirtAddr(next).add(8), 42).unwrap_err();
+        let report = sp.explain(&trap).unwrap();
+        assert_eq!(report.kind, DanglingKind::Write);
+        assert!(report.render(sp.sites()).contains("free_all_but_head"));
+
+        // pooldestroy in f(): all pages recycled.
+        sp.destroy(&mut m, pp).unwrap();
+        assert!(sp.pools().free_page_count() >= 11);
+    }
+
+    #[test]
+    fn pools_isolated_from_each_other() {
+        let (mut m, mut sp) = setup();
+        let p1 = sp.create(16);
+        let p2 = sp.create(16);
+        let a = sp.alloc(&mut m, p1, 16).unwrap();
+        let b = sp.alloc(&mut m, p2, 16).unwrap();
+        sp.free(&mut m, p1, a).unwrap();
+        // b unaffected by a's free.
+        m.store_u64(b, 9).unwrap();
+        assert_eq!(m.load_u64(b).unwrap(), 9);
+        sp.destroy(&mut m, p1).unwrap();
+        assert_eq!(m.load_u64(b).unwrap(), 9, "destroying p1 leaves p2 intact");
+    }
+
+    #[test]
+    fn live_and_freed_bookkeeping() {
+        let (mut m, mut sp) = setup();
+        let pp = sp.create(16);
+        let a = sp.alloc(&mut m, pp, 24).unwrap();
+        let b = sp.alloc(&mut m, pp, 24).unwrap();
+        assert_eq!(sp.live_objects(pp).len(), 2);
+        sp.free(&mut m, pp, a).unwrap();
+        assert_eq!(sp.live_objects(pp), vec![(b, 24)]);
+        assert_eq!(sp.freed_spans(pp).len(), 1);
+    }
+
+    #[test]
+    fn reclaim_span_donates_pages() {
+        let (mut m, mut sp) = setup();
+        let pp = sp.create(16);
+        let a = sp.alloc(&mut m, pp, 16).unwrap();
+        sp.free(&mut m, pp, a).unwrap();
+        let span = sp.freed_spans(pp)[0];
+        let before = sp.pools().free_page_count();
+        assert_eq!(sp.reclaim_span(pp, span), 1);
+        assert_eq!(sp.pools().free_page_count(), before + 1);
+        assert!(sp.freed_spans(pp).is_empty());
+        // Reclaiming again is a no-op.
+        assert_eq!(sp.reclaim_span(pp, span), 0);
+        // Destroying the pool afterwards must not double-release the page.
+        let count_before_destroy = sp.pools().free_page_count();
+        sp.destroy(&mut m, pp).unwrap();
+        // canonical page released exactly once:
+        assert_eq!(sp.pools().free_page_count(), count_before_destroy + 1);
+    }
+
+    #[test]
+    fn alloc_on_destroyed_pool_fails() {
+        let (mut m, mut sp) = setup();
+        let pp = sp.create(16);
+        sp.destroy(&mut m, pp).unwrap();
+        assert!(matches!(sp.alloc(&mut m, pp, 8), Err(PoolError::Destroyed(_))));
+    }
+
+    #[test]
+    fn multi_page_object_in_pool() {
+        let (mut m, mut sp) = setup();
+        let pp = sp.create(0);
+        let p = sp.alloc(&mut m, pp, 10_000).unwrap();
+        m.fill(p, 0xab, 10_000).unwrap();
+        sp.free(&mut m, pp, p).unwrap();
+        assert!(m.load_u8(p.add(9_000)).is_err(), "tail page protected too");
+    }
+}

@@ -1,0 +1,363 @@
+//! `BuddyHeap`: a binary-buddy allocator — the "arbitrary allocator" proof.
+//!
+//! The paper's §3.2 claims the detector "can work with an arbitrary memory
+//! allocator ... the underlying allocator is completely unaware of the page
+//! remapping". [`crate::SysHeap`] is a segregated-fit design; this module
+//! provides a structurally different second allocator — power-of-two buddy
+//! blocks with split/coalesce — and the `dangle-core` tests wrap *both*
+//! with `ShadowHeap` unchanged, demonstrating the claim.
+//!
+//! Design: one contiguous arena obtained with `mmap`; orders from
+//! [`MIN_ORDER`] (32 B blocks) to the arena order; per-order free lists
+//! with the links stored in the free blocks themselves (simulated memory);
+//! an 8-byte boundary header per live allocation recording `(requested,
+//! order)`; buddies coalesce eagerly on free.
+
+use crate::header::HEADER_SIZE;
+use crate::{AllocError, AllocStats, Allocator};
+use dangle_vmm::{Machine, VirtAddr, PAGE_SIZE};
+
+/// Smallest block: `2^MIN_ORDER` = 32 bytes (header + 24 usable).
+pub const MIN_ORDER: u32 = 5;
+/// Default arena: `2^22` = 4 MiB.
+pub const DEFAULT_ARENA_ORDER: u32 = 22;
+
+const IN_USE: u64 = 1 << 63;
+
+fn pack(requested: usize, order: u32, in_use: bool) -> u64 {
+    (requested as u64) | ((order as u64) << 48) | if in_use { IN_USE } else { 0 }
+}
+
+fn unpack_requested(h: u64) -> usize {
+    (h & 0xffff_ffff) as usize
+}
+
+fn unpack_order(h: u64) -> u32 {
+    ((h >> 48) & 0x3f) as u32
+}
+
+fn unpack_in_use(h: u64) -> bool {
+    h & IN_USE != 0
+}
+
+/// The binary-buddy allocator. See the [module docs](self).
+#[derive(Debug)]
+pub struct BuddyHeap {
+    arena_order: u32,
+    arena: Option<VirtAddr>,
+    /// Free-list head per order; links live in simulated memory.
+    free_heads: Vec<Option<VirtAddr>>,
+    stats: AllocStats,
+}
+
+impl BuddyHeap {
+    /// Creates a buddy heap with the default 4 MiB arena (acquired lazily).
+    pub fn new() -> BuddyHeap {
+        BuddyHeap::with_arena_order(DEFAULT_ARENA_ORDER)
+    }
+
+    /// Creates a buddy heap whose arena is `2^order` bytes.
+    ///
+    /// # Panics
+    /// Panics if `order` is below [`MIN_ORDER`] or below the page order.
+    pub fn with_arena_order(order: u32) -> BuddyHeap {
+        assert!(order >= MIN_ORDER, "arena must hold at least one block");
+        assert!(1usize << order >= PAGE_SIZE, "arena must be page-sized");
+        BuddyHeap {
+            arena_order: order,
+            arena: None,
+            free_heads: vec![None; (order + 1) as usize],
+            stats: AllocStats::default(),
+        }
+    }
+
+    fn ensure_arena(&mut self, machine: &mut Machine) -> Result<VirtAddr, AllocError> {
+        if let Some(a) = self.arena {
+            return Ok(a);
+        }
+        let pages = (1usize << self.arena_order) / PAGE_SIZE;
+        let base = machine.mmap(pages)?;
+        self.arena = Some(base);
+        self.free_heads[self.arena_order as usize] = Some(base);
+        machine.store_u64(base, 0)?; // next link of the initial block
+        Ok(base)
+    }
+
+    fn order_for(size: usize) -> u32 {
+        let need = (size + HEADER_SIZE).max(1 << MIN_ORDER);
+        (usize::BITS - (need - 1).leading_zeros()).max(MIN_ORDER)
+    }
+
+    fn pop_free(&mut self, machine: &mut Machine, order: u32) -> Result<Option<VirtAddr>, AllocError> {
+        let Some(block) = self.free_heads[order as usize] else {
+            return Ok(None);
+        };
+        let next = machine.load_u64(block)?;
+        self.free_heads[order as usize] = (next != 0).then_some(VirtAddr(next));
+        Ok(Some(block))
+    }
+
+    fn push_free(&mut self, machine: &mut Machine, order: u32, block: VirtAddr) -> Result<(), AllocError> {
+        let next = self.free_heads[order as usize].map_or(0, VirtAddr::raw);
+        machine.store_u64(block, next)?;
+        self.free_heads[order as usize] = Some(block);
+        Ok(())
+    }
+
+    /// Removes `block` from the order-`order` free list if present.
+    fn unlink_free(
+        &mut self,
+        machine: &mut Machine,
+        order: u32,
+        block: VirtAddr,
+    ) -> Result<bool, AllocError> {
+        let mut prev: Option<VirtAddr> = None;
+        let mut cur = self.free_heads[order as usize];
+        while let Some(c) = cur {
+            let next = machine.load_u64(c)?;
+            if c == block {
+                match prev {
+                    None => {
+                        self.free_heads[order as usize] = (next != 0).then_some(VirtAddr(next))
+                    }
+                    Some(p) => machine.store_u64(p, next)?,
+                }
+                return Ok(true);
+            }
+            prev = Some(c);
+            cur = (next != 0).then_some(VirtAddr(next));
+        }
+        Ok(false)
+    }
+
+    fn buddy_of(&self, block: VirtAddr, order: u32) -> VirtAddr {
+        let base = self.arena.expect("arena exists when blocks do").raw();
+        VirtAddr(((block.raw() - base) ^ (1u64 << order)) + base)
+    }
+}
+
+impl Default for BuddyHeap {
+    fn default() -> BuddyHeap {
+        BuddyHeap::new()
+    }
+}
+
+impl Allocator for BuddyHeap {
+    fn alloc(&mut self, machine: &mut Machine, size: usize) -> Result<VirtAddr, AllocError> {
+        let requested = size.max(1);
+        let order = Self::order_for(requested);
+        if order > self.arena_order {
+            return Err(AllocError::TooLarge { size });
+        }
+        self.ensure_arena(machine)?;
+        // Find the smallest order with a free block, splitting downwards.
+        let mut found = None;
+        for o in order..=self.arena_order {
+            if let Some(block) = self.pop_free(machine, o)? {
+                found = Some((block, o));
+                break;
+            }
+        }
+        let (block, mut o) = found.ok_or(AllocError::Trap(
+            dangle_vmm::Trap::OutOfPhysicalMemory,
+        ))?;
+        while o > order {
+            o -= 1;
+            let upper_half = block.add(1 << o);
+            self.push_free(machine, o, upper_half)?;
+        }
+        machine.store_u64(block, pack(requested, order, true))?;
+        self.stats.note_alloc(requested);
+        Ok(block.add(HEADER_SIZE as u64))
+    }
+
+    fn free(&mut self, machine: &mut Machine, addr: VirtAddr) -> Result<(), AllocError> {
+        if addr.raw() < HEADER_SIZE as u64 {
+            return Err(AllocError::InvalidFree { addr });
+        }
+        let mut block = addr.sub(HEADER_SIZE as u64);
+        let h = machine.load_u64(block)?;
+        if !unpack_in_use(h) {
+            return Err(AllocError::InvalidFree { addr });
+        }
+        let requested = unpack_requested(h);
+        let mut order = unpack_order(h);
+        machine.store_u64(block, pack(requested, order, false))?;
+        // Coalesce with free buddies as far as possible.
+        while order < self.arena_order {
+            let buddy = self.buddy_of(block, order);
+            if !self.unlink_free(machine, order, buddy)? {
+                break;
+            }
+            block = VirtAddr(block.raw().min(buddy.raw()));
+            order += 1;
+        }
+        self.push_free(machine, order, block)?;
+        self.stats.note_free(requested);
+        Ok(())
+    }
+
+    fn size_of(&self, machine: &mut Machine, addr: VirtAddr) -> Result<usize, AllocError> {
+        if addr.raw() < HEADER_SIZE as u64 {
+            return Err(AllocError::InvalidFree { addr });
+        }
+        let h = machine.load_u64(addr.sub(HEADER_SIZE as u64))?;
+        if !unpack_in_use(h) {
+            return Err(AllocError::InvalidFree { addr });
+        }
+        Ok(unpack_requested(h))
+    }
+
+    fn name(&self) -> &'static str {
+        "buddy"
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Machine, BuddyHeap) {
+        (Machine::free_running(), BuddyHeap::with_arena_order(16)) // 64 KiB
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let (mut m, mut h) = setup();
+        let p = h.alloc(&mut m, 100).unwrap();
+        m.store_u64(p, 7).unwrap();
+        m.store_u8(p.add(99), 9).unwrap();
+        assert_eq!(h.size_of(&mut m, p).unwrap(), 100);
+        h.free(&mut m, p).unwrap();
+    }
+
+    #[test]
+    fn orders_are_powers_of_two() {
+        assert_eq!(BuddyHeap::order_for(1), MIN_ORDER);
+        assert_eq!(BuddyHeap::order_for(24), MIN_ORDER);
+        assert_eq!(BuddyHeap::order_for(25), MIN_ORDER + 1); // 25+8 > 32
+        assert_eq!(BuddyHeap::order_for(120), 7);
+        assert_eq!(BuddyHeap::order_for(121), 8);
+    }
+
+    #[test]
+    fn split_then_coalesce_restores_the_arena() {
+        let (mut m, mut h) = setup();
+        let ptrs: Vec<VirtAddr> = (0..8).map(|_| h.alloc(&mut m, 24).unwrap()).collect();
+        for p in &ptrs {
+            h.free(&mut m, *p).unwrap();
+        }
+        // Everything coalesced back: the next max-order allocation succeeds.
+        let big = h.alloc(&mut m, (1 << 16) - HEADER_SIZE).unwrap();
+        h.free(&mut m, big).unwrap();
+    }
+
+    #[test]
+    fn buddies_are_reflexive() {
+        let (mut m, mut h) = setup();
+        let p = h.alloc(&mut m, 24).unwrap();
+        let block = p.sub(HEADER_SIZE as u64);
+        let buddy = h.buddy_of(block, MIN_ORDER);
+        assert_eq!(h.buddy_of(buddy, MIN_ORDER), block);
+        assert_ne!(buddy, block);
+    }
+
+    #[test]
+    fn no_overlap_among_live_blocks() {
+        let (mut m, mut h) = setup();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for size in [24usize, 100, 31, 512, 24, 2000, 60, 24, 300] {
+            let p = h.alloc(&mut m, size).unwrap();
+            let span = (p.raw(), p.raw() + size as u64);
+            for &(a, b) in &live {
+                assert!(span.1 <= a || span.0 >= b, "overlap {span:?} vs {:?}", (a, b));
+            }
+            live.push(span);
+        }
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut m, mut h) = setup();
+        let p = h.alloc(&mut m, 24).unwrap();
+        h.free(&mut m, p).unwrap();
+        assert!(matches!(h.free(&mut m, p), Err(AllocError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let mut m = Machine::free_running();
+        let mut h = BuddyHeap::with_arena_order(12); // one page
+        let mut n = 0;
+        while h.alloc(&mut m, 24).is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, (1 << 12) / 32, "every 32-byte block handed out");
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let (mut m, mut h) = setup();
+        assert!(matches!(h.alloc(&mut m, 1 << 20), Err(AllocError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn reuse_is_lifo_within_order() {
+        let (mut m, mut h) = setup();
+        let a = h.alloc(&mut m, 24).unwrap();
+        let b = h.alloc(&mut m, 24).unwrap();
+        h.free(&mut m, b).unwrap();
+        // b's buddy (a) is live, so b cannot coalesce and comes right back.
+        let c = h.alloc(&mut m, 24).unwrap();
+        assert_eq!(c, b);
+        let _ = a;
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random traffic never overlaps live blocks, preserves data, and
+        /// frees always coalesce back to a fully usable arena.
+        #[test]
+        fn buddy_integrity(ops in prop::collection::vec((1usize..3000, any::<bool>(), any::<u8>()), 1..100)) {
+            let mut m = Machine::free_running();
+            let mut h = BuddyHeap::with_arena_order(18);
+            let mut live: Vec<(VirtAddr, usize, u8)> = Vec::new();
+            for (size, do_free, seed) in ops {
+                if do_free && !live.is_empty() {
+                    let (p, len, s) = live.swap_remove(seed as usize % live.len());
+                    for i in 0..len.min(16) {
+                        prop_assert_eq!(m.load_u8(p.add(i as u64)).unwrap(), s.wrapping_add(i as u8));
+                    }
+                    h.free(&mut m, p).unwrap();
+                } else if let Ok(p) = h.alloc(&mut m, size) {
+                    for &(q, qlen, _) in &live {
+                        let disjoint = p.raw() + size as u64 <= q.raw()
+                            || q.raw() + qlen as u64 <= p.raw();
+                        prop_assert!(disjoint);
+                    }
+                    for i in 0..size.min(16) {
+                        m.store_u8(p.add(i as u64), seed.wrapping_add(i as u8)).unwrap();
+                    }
+                    live.push((p, size, seed));
+                }
+            }
+            // Drain everything; the arena must coalesce to one max block.
+            for (p, _, _) in live {
+                h.free(&mut m, p).unwrap();
+            }
+            let big = h.alloc(&mut m, (1 << 18) - HEADER_SIZE).unwrap();
+            h.free(&mut m, big).unwrap();
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Boundary-header encoding shared by the system heap and the pool
+//! allocator runtime.
+//!
+//! Every allocation in the workspace is preceded by an 8-byte header word:
+//!
+//! ```text
+//! bit 63      : in-use flag
+//! bits 62..32 : capacity (the rounded block payload size, bytes)
+//! bits 31..0  : requested size (what the caller asked for, bytes)
+//! ```
+//!
+//! The shadow-page detector of `dangle-core` additionally prepends its *own*
+//! word (the canonical-page record of §3.2 of the paper) inside the payload;
+//! that word is not described here because the underlying allocators are
+//! oblivious to it.
+
+/// Size of the boundary header preceding every payload.
+pub const HEADER_SIZE: usize = 8;
+
+/// Payload capacities of the small size classes (bytes, multiples of 8).
+pub const SIZE_CLASSES: [usize; 16] =
+    [16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4064];
+
+const IN_USE: u64 = 1 << 63;
+
+/// Packs a header word.
+///
+/// # Panics
+/// Debug-panics if `requested` exceeds `u32::MAX` or `capacity` exceeds
+/// 2^30 - 1.
+pub fn pack_header(requested: usize, capacity: usize, in_use: bool) -> u64 {
+    debug_assert!(requested <= u32::MAX as usize);
+    debug_assert!(capacity < (1 << 30));
+    (requested as u64) | ((capacity as u64) << 32) | if in_use { IN_USE } else { 0 }
+}
+
+/// The caller-requested size recorded in `h`.
+pub fn header_requested(h: u64) -> usize {
+    (h & 0xffff_ffff) as usize
+}
+
+/// The block capacity recorded in `h`.
+pub fn header_capacity(h: u64) -> usize {
+    ((h >> 32) & 0x3fff_ffff) as usize
+}
+
+/// Whether `h` marks a live allocation.
+pub fn header_in_use(h: u64) -> bool {
+    h & IN_USE != 0
+}
+
+/// The smallest size class whose capacity is at least `size`, if any.
+pub fn class_index(size: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| c >= size)
+}
+
+/// The size class whose capacity is exactly `capacity`, if any.
+pub fn class_of_capacity(capacity: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|&c| c == capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let h = pack_header(1234, 2048, true);
+        assert_eq!(header_requested(h), 1234);
+        assert_eq!(header_capacity(h), 2048);
+        assert!(header_in_use(h));
+        assert!(!header_in_use(pack_header(0, 16, false)));
+    }
+
+    #[test]
+    fn classes_are_sorted_and_aligned() {
+        for w in SIZE_CLASSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for c in SIZE_CLASSES {
+            assert_eq!(c % 8, 0);
+        }
+    }
+
+    #[test]
+    fn class_lookup() {
+        assert_eq!(class_index(1), Some(0));
+        assert_eq!(class_index(16), Some(0));
+        assert_eq!(class_index(17), Some(1));
+        assert_eq!(class_index(4064), Some(SIZE_CLASSES.len() - 1));
+        assert_eq!(class_index(4065), None);
+        assert_eq!(class_of_capacity(96), Some(4));
+        assert_eq!(class_of_capacity(97), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! # dangle-heap — the underlying system allocator
+//!
+//! The detector of the DSN 2006 paper deliberately works **on top of an
+//! arbitrary, unmodified `malloc`** (§3.2: "the underlying allocator is
+//! completely unaware of the page remapping"). This crate provides that
+//! underlying allocator for the simulated machine:
+//!
+//! * the [`Allocator`] trait — the `malloc`/`free` interface every scheme in
+//!   the workspace implements (the plain system heap here, the shadow-page
+//!   detector in `dangle-core`, the Electric-Fence / memcheck / capability
+//!   baselines in `dangle-baselines`);
+//! * [`SysHeap`] — a segregated-fit allocator with size classes, boundary
+//!   headers and free lists threaded through *simulated* memory, standing in
+//!   for the production `malloc` of the paper's evaluation platform;
+//! * [`BuddyHeap`] — a structurally different binary-buddy allocator,
+//!   proving the detector really is allocator-agnostic (§3.2).
+//!
+//! `SysHeap` keeps its free-list links and object headers inside the
+//! simulated address space, so allocator work costs simulated cycles the
+//! same way real allocator work costs real cycles — this matters for the
+//! allocation-intensive Olden numbers (Table 3).
+
+pub mod buddy;
+pub mod header;
+pub mod sys;
+
+pub use buddy::BuddyHeap;
+pub use sys::SysHeap;
+
+use dangle_vmm::{Machine, Trap, VirtAddr};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by [`Allocator`] operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The underlying machine trapped. For the shadow-page detector this is
+    /// how a *double free* is caught: reading the canonical-page header of
+    /// an already-freed object faults.
+    Trap(Trap),
+    /// `free` was called on an address that is not a live allocation.
+    InvalidFree {
+        /// The bogus address.
+        addr: VirtAddr,
+    },
+    /// The allocation request exceeded what the allocator supports.
+    TooLarge {
+        /// Requested size in bytes.
+        size: usize,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Trap(t) => write!(f, "allocator trapped: {t}"),
+            AllocError::InvalidFree { addr } => write!(f, "invalid free of {addr}"),
+            AllocError::TooLarge { size } => write!(f, "allocation of {size} bytes too large"),
+        }
+    }
+}
+
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::Trap(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<Trap> for AllocError {
+    fn from(t: Trap) -> AllocError {
+        AllocError::Trap(t)
+    }
+}
+
+/// Counters every allocator maintains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of successful frees.
+    pub frees: u64,
+    /// Currently live objects.
+    pub live_objects: u64,
+    /// Currently live payload bytes (as requested, before rounding).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_live_bytes: u64,
+}
+
+impl AllocStats {
+    /// Records a successful allocation of `size` bytes.
+    pub fn note_alloc(&mut self, size: usize) {
+        self.allocs += 1;
+        self.live_objects += 1;
+        self.live_bytes += size as u64;
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+    }
+
+    /// Records a successful free of `size` bytes.
+    pub fn note_free(&mut self, size: usize) {
+        self.frees += 1;
+        self.live_objects = self.live_objects.saturating_sub(1);
+        self.live_bytes = self.live_bytes.saturating_sub(size as u64);
+    }
+}
+
+/// The `malloc`/`free` interface of the workspace.
+///
+/// Implementors allocate simulated memory from a [`Machine`] and return
+/// [`VirtAddr`] "pointers". All costs (headers, free-list traffic, system
+/// calls) are charged to the machine's clock.
+///
+/// ```rust
+/// use dangle_heap::{Allocator, SysHeap};
+/// use dangle_vmm::Machine;
+///
+/// # fn main() -> Result<(), dangle_heap::AllocError> {
+/// let mut m = Machine::new();
+/// let mut heap = SysHeap::new();
+/// let p = heap.alloc(&mut m, 24)?;
+/// m.store_u64(p, 7)?;
+/// heap.free(&mut m, p)?;
+/// # Ok(())
+/// # }
+/// ```
+pub trait Allocator {
+    /// Allocates `size` bytes of simulated memory, 8-byte aligned.
+    /// A `size` of zero is treated as the minimum allocation.
+    ///
+    /// # Errors
+    /// Returns [`AllocError::Trap`] on machine exhaustion and
+    /// [`AllocError::TooLarge`] for unsupported sizes.
+    fn alloc(&mut self, machine: &mut Machine, size: usize) -> Result<VirtAddr, AllocError>;
+
+    /// Frees an allocation previously returned by [`Allocator::alloc`].
+    ///
+    /// # Errors
+    /// Returns [`AllocError::InvalidFree`] for addresses that are not live
+    /// allocations (when detectable) and [`AllocError::Trap`] when the
+    /// attempt itself faults (e.g. a double free under the shadow-page
+    /// detector).
+    fn free(&mut self, machine: &mut Machine, addr: VirtAddr) -> Result<(), AllocError>;
+
+    /// The *requested* size of the live allocation at `addr`, reading the
+    /// allocator's own metadata (charged to the machine).
+    ///
+    /// # Errors
+    /// Returns [`AllocError::Trap`] if reading the metadata faults, or
+    /// [`AllocError::InvalidFree`] if `addr` is not a live allocation (when
+    /// detectable).
+    fn size_of(&self, machine: &mut Machine, addr: VirtAddr) -> Result<usize, AllocError>;
+
+    /// A short human-readable scheme name ("sys", "shadow", "efence", ...).
+    fn name(&self) -> &'static str;
+
+    /// Allocation counters.
+    fn stats(&self) -> AllocStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_error_display() {
+        let e = AllocError::InvalidFree { addr: VirtAddr(0x40) };
+        assert!(e.to_string().contains("0x40"));
+        let e = AllocError::Trap(Trap::OutOfPhysicalMemory);
+        assert!(e.to_string().contains("physical"));
+    }
+
+    #[test]
+    fn stats_track_peak() {
+        let mut s = AllocStats::default();
+        s.note_alloc(100);
+        s.note_alloc(50);
+        s.note_free(100);
+        s.note_alloc(10);
+        assert_eq!(s.live_objects, 2);
+        assert_eq!(s.live_bytes, 60);
+        assert_eq!(s.peak_live_bytes, 150);
+        assert_eq!(s.allocs, 3);
+        assert_eq!(s.frees, 1);
+    }
+
+    #[test]
+    fn trap_converts_to_alloc_error() {
+        let e: AllocError = Trap::OutOfVirtualMemory.into();
+        assert_eq!(e, AllocError::Trap(Trap::OutOfVirtualMemory));
+    }
+
+    #[test]
+    fn alloc_error_source_chains_trap() {
+        let e = AllocError::Trap(Trap::OutOfVirtualMemory);
+        assert!(Error::source(&e).is_some());
+        let e = AllocError::TooLarge { size: 1 };
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,949 @@
+//! # dangle-pool — the Automatic Pool Allocation runtime
+//!
+//! The run-time half of Automatic Pool Allocation (Lattner & Adve, PLDI'05),
+//! with the modifications §3.3/§3.5 of the DSN 2006 paper makes to it:
+//!
+//! * each pool is a distinct sub-heap (`poolinit` / `poolalloc` /
+//!   `poolfree` / `pooldestroy`),
+//! * a **shared free list of virtual pages** spans all pools:
+//!   `pooldestroy` pushes *every* page the pool ever owned (canonical pages
+//!   and any shadow pages the detector registered) onto the list instead of
+//!   calling `munmap`,
+//! * `poolalloc` obtains pages **from the shared free list first**, falling
+//!   back to `mmap` only when the list is empty,
+//! * `poolfree` does **not** return memory to the system — pages stay with
+//!   their pool until the pool dies.
+//!
+//! Recycling a virtual page re-maps it to a *fresh* physical frame
+//! ([`dangle_vmm::Machine::mmap_fixed`]). This severs any stale physical
+//! aliasing left over from the page's previous life — without it, two live
+//! objects could silently share a frame. The safety of handing the *virtual*
+//! page out again rests entirely on the Automatic Pool Allocation contract:
+//! no pointer into the pool survives `pooldestroy` (that is Insight 2 of the
+//! paper, and `dangle-apa`'s escape analysis is what establishes it).
+//!
+//! The runtime also maintains the *dynamic pool points-to graph* the paper's
+//! §3.4 mentions ([`PoolSet::note_pool_edge`]): which pools hold pointers
+//! into which other pools. `dangle-core`'s conservative pool GC uses it to
+//! scan only the long-lived pools.
+
+use dangle_heap::header::{self, HEADER_SIZE, SIZE_CLASSES};
+use dangle_heap::{AllocError, AllocStats};
+use dangle_vmm::{Machine, PageNum, Trap, VirtAddr, PAGE_SIZE};
+use std::error::Error;
+use std::fmt;
+
+/// Identifies a pool within a [`PoolSet`]. Corresponds to the pool
+/// descriptor variable the APA transform threads through the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool#{}", self.0)
+    }
+}
+
+/// Errors from pool operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// An underlying allocation error (including machine traps).
+    Alloc(AllocError),
+    /// The pool was already destroyed.
+    Destroyed(PoolId),
+    /// The pool id was never created.
+    Unknown(PoolId),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Alloc(e) => write!(f, "{e}"),
+            PoolError::Destroyed(p) => write!(f, "operation on destroyed {p}"),
+            PoolError::Unknown(p) => write!(f, "operation on unknown {p}"),
+        }
+    }
+}
+
+impl Error for PoolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PoolError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AllocError> for PoolError {
+    fn from(e: AllocError) -> PoolError {
+        PoolError::Alloc(e)
+    }
+}
+
+impl From<Trap> for PoolError {
+    fn from(t: Trap) -> PoolError {
+        PoolError::Alloc(AllocError::Trap(t))
+    }
+}
+
+/// Configuration of a [`PoolSet`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Whether `pooldestroy` feeds the shared page free list and
+    /// `poolalloc` consumes it. Disabling reproduces the "no-reuse" regime
+    /// of §3.2 (and is swept by the ablation bench).
+    pub reuse_pages: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig { reuse_pages: true }
+    }
+}
+
+/// Fixed cycle cost modelling pool bookkeeping beyond its memory traffic.
+const LOGIC_COST: u64 = 10;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ClassState {
+    free_head: Option<VirtAddr>,
+    cur: VirtAddr,
+    cur_end: u64,
+}
+
+#[derive(Debug)]
+struct Pool {
+    /// Element-size hint passed to `poolinit` (the `sizeof` the transform
+    /// derives from the points-to graph node). Currently informational.
+    elem_hint: usize,
+    classes: [ClassState; SIZE_CLASSES.len()],
+    /// Every canonical page this pool obtained (chunk pages and large runs).
+    pages: Vec<PageNum>,
+    /// Shadow pages registered by the dangling-pointer detector so they are
+    /// recycled together with the pool.
+    extra_pages: Vec<PageNum>,
+    /// First-fit list of freed large runs: `(pages, block_base)`.
+    large_free: Vec<(usize, VirtAddr)>,
+    /// Pools this pool's objects hold pointers into (dynamic pool
+    /// points-to graph, §3.4).
+    points_to: Vec<PoolId>,
+    stats: AllocStats,
+    destroyed: bool,
+}
+
+/// Aggregate counters for a [`PoolSet`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolSetStats {
+    /// Pools created with [`PoolSet::create`].
+    pub pools_created: u64,
+    /// Pools destroyed with [`PoolSet::destroy`].
+    pub pools_destroyed: u64,
+    /// Pages recycled from the shared free list.
+    pub pages_recycled: u64,
+    /// Pages obtained fresh from `mmap`.
+    pub pages_fresh: u64,
+    /// Pages returned to the shared free list by `pooldestroy`.
+    pub pages_released: u64,
+}
+
+/// The pool runtime: all pools of one program plus the shared page free
+/// list. See the [module docs](self).
+///
+/// ```rust
+/// use dangle_pool::PoolSet;
+/// use dangle_vmm::Machine;
+///
+/// # fn main() -> Result<(), dangle_pool::PoolError> {
+/// let mut m = Machine::new();
+/// let mut pools = PoolSet::new();
+/// let pp = pools.create(16);
+/// let node = pools.alloc(&mut m, pp, 16)?;
+/// m.store_u64(node, 1)?;
+/// pools.free(&mut m, pp, node)?;
+/// pools.destroy(&mut m, pp)?; // all pages become reusable
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct PoolSet {
+    pools: Vec<Pool>,
+    /// Shared free list of virtual-page *runs*: `(base, len)`. Runs let
+    /// multi-page canonical blocks and multi-page shadow spans recycle
+    /// virtual addresses too, not just single pages.
+    free_runs: Vec<(PageNum, u32)>,
+    config: PoolConfig,
+    stats: PoolSetStats,
+}
+
+impl PoolSet {
+    /// Creates an empty pool set with the default configuration.
+    pub fn new() -> PoolSet {
+        PoolSet::default()
+    }
+
+    /// Creates an empty pool set with an explicit configuration.
+    pub fn with_config(config: PoolConfig) -> PoolSet {
+        PoolSet { config, ..PoolSet::default() }
+    }
+
+    /// `poolinit`: creates a new pool. `elem_hint` is the element size the
+    /// compiler inferred for the pool's points-to node (0 if unknown).
+    pub fn create(&mut self, elem_hint: usize) -> PoolId {
+        let id = PoolId(self.pools.len() as u32);
+        self.pools.push(Pool {
+            elem_hint,
+            classes: Default::default(),
+            pages: Vec::new(),
+            extra_pages: Vec::new(),
+            large_free: Vec::new(),
+            points_to: Vec::new(),
+            stats: AllocStats::default(),
+            destroyed: false,
+        });
+        self.stats.pools_created += 1;
+        id
+    }
+
+    fn pool(&self, id: PoolId) -> Result<&Pool, PoolError> {
+        self.pools.get(id.0 as usize).ok_or(PoolError::Unknown(id))
+    }
+
+    fn pool_live(&mut self, id: PoolId) -> Result<&mut Pool, PoolError> {
+        let p = self.pools.get_mut(id.0 as usize).ok_or(PoolError::Unknown(id))?;
+        if p.destroyed {
+            return Err(PoolError::Destroyed(id));
+        }
+        Ok(p)
+    }
+
+    /// Pops `n` *contiguous* page numbers off the shared free list without
+    /// mapping them, splitting a larger run if needed. `None` when reuse is
+    /// disabled or no run is long enough.
+    pub fn take_free_run(&mut self, n: usize) -> Option<PageNum> {
+        if !self.config.reuse_pages || n == 0 {
+            return None;
+        }
+        let i = self.free_runs.iter().position(|&(_, len)| len as usize >= n)?;
+        let (base, len) = self.free_runs[i];
+        if len as usize == n {
+            self.free_runs.swap_remove(i);
+        } else {
+            self.free_runs[i] = (base.add(n as u64), len - n as u32);
+        }
+        self.stats.pages_recycled += n as u64;
+        Some(base)
+    }
+
+    /// Pushes a run of `len` pages starting at `base` onto the shared free
+    /// list (merging with an adjacent run when trivially possible).
+    fn release_run(&mut self, base: PageNum, len: u32) {
+        if !self.config.reuse_pages || len == 0 {
+            return;
+        }
+        self.stats.pages_released += len as u64;
+        // Cheap merge with the most recently released neighbour.
+        if let Some(last) = self.free_runs.last_mut() {
+            if last.0.add(last.1 as u64) == base {
+                last.1 += len;
+                return;
+            }
+        }
+        self.free_runs.push((base, len));
+    }
+
+    /// Releases a set of pages: sorts, coalesces consecutive pages into
+    /// runs, and pushes the runs onto the shared free list.
+    fn release_pages(&mut self, mut pages: Vec<PageNum>) {
+        if !self.config.reuse_pages || pages.is_empty() {
+            return;
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        let mut run_base = pages[0];
+        let mut run_len = 1u32;
+        for &pg in &pages[1..] {
+            if pg == run_base.add(run_len as u64) {
+                run_len += 1;
+            } else {
+                self.release_run(run_base, run_len);
+                run_base = pg;
+                run_len = 1;
+            }
+        }
+        self.release_run(run_base, run_len);
+    }
+
+    /// Obtains `n` contiguous virtual pages: recycled from the shared free
+    /// list when allowed and available (re-mapped to fresh frames), fresh
+    /// `mmap` otherwise.
+    fn acquire_run(&mut self, machine: &mut Machine, n: usize) -> Result<VirtAddr, PoolError> {
+        if let Some(base) = self.take_free_run(n) {
+            machine.mmap_fixed(base.base(), n)?;
+            return Ok(base.base());
+        }
+        self.stats.pages_fresh += n as u64;
+        Ok(machine.mmap(n)?)
+    }
+
+    fn acquire_page(&mut self, machine: &mut Machine) -> Result<VirtAddr, PoolError> {
+        self.acquire_run(machine, 1)
+    }
+
+    /// `poolalloc`: allocates `size` bytes from `pool`.
+    ///
+    /// # Errors
+    /// [`PoolError::Destroyed`]/[`PoolError::Unknown`] for bad pool ids,
+    /// [`PoolError::Alloc`] for machine exhaustion or oversized requests.
+    pub fn alloc(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        size: usize,
+    ) -> Result<VirtAddr, PoolError> {
+        machine.tick(LOGIC_COST);
+        if size > u32::MAX as usize {
+            return Err(AllocError::TooLarge { size }.into());
+        }
+        let requested = size.max(1);
+        self.pool_live(pool)?; // validate before taking pages
+        let payload = match header::class_index(requested) {
+            Some(class) => {
+                let capacity = SIZE_CLASSES[class];
+                // Fast paths on the pool's class state.
+                let state = self.pool_live(pool)?.classes[class];
+                let payload = if let Some(p) = state.free_head {
+                    let next = machine.load_u64(p)?;
+                    self.pool_live(pool)?.classes[class].free_head =
+                        if next == 0 { None } else { Some(VirtAddr(next)) };
+                    p
+                } else {
+                    let need = (capacity + HEADER_SIZE) as u64;
+                    let mut state = state;
+                    if state.cur_end - state.cur.raw() < need {
+                        // Carve a new page for this class.
+                        let page = self.acquire_page(machine)?;
+                        self.pool_live(pool)?.pages.push(page.page());
+                        state.cur = page;
+                        state.cur_end = page.raw() + PAGE_SIZE as u64;
+                    }
+                    let block = state.cur;
+                    state.cur = state.cur.add(need);
+                    self.pool_live(pool)?.classes[class] = state;
+                    block.add(HEADER_SIZE as u64)
+                };
+                machine.store_u64(
+                    payload.sub(HEADER_SIZE as u64),
+                    header::pack_header(requested, capacity, true),
+                )?;
+                payload
+            }
+            None => {
+                // Large run: fresh pages (contiguity cannot be guaranteed
+                // from the single-page free list), reused within the pool.
+                let pages = (requested + HEADER_SIZE).div_ceil(PAGE_SIZE);
+                let p = self.pool_live(pool)?;
+                let block = if let Some(i) =
+                    p.large_free.iter().position(|&(n, _)| n >= pages)
+                {
+                    p.large_free.swap_remove(i).1
+                } else {
+                    let block = self.acquire_run(machine, pages)?;
+                    let p = self.pool_live(pool)?;
+                    for i in 0..pages as u64 {
+                        p.pages.push(block.page().add(i));
+                    }
+                    block
+                };
+                let capacity = pages * PAGE_SIZE - HEADER_SIZE;
+                machine.store_u64(block, header::pack_header(requested, capacity, true))?;
+                block.add(HEADER_SIZE as u64)
+            }
+        };
+        self.pool_live(pool)?.stats.note_alloc(requested);
+        Ok(payload)
+    }
+
+    /// `poolfree`: returns `addr` to its pool's internal free lists. Memory
+    /// is *not* returned to the system or the shared page list (§3.5).
+    ///
+    /// # Errors
+    /// [`PoolError::Alloc`] with [`AllocError::InvalidFree`] when the header
+    /// shows the block is not live; pool-id errors as for
+    /// [`PoolSet::alloc`].
+    pub fn free(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        addr: VirtAddr,
+    ) -> Result<(), PoolError> {
+        machine.tick(LOGIC_COST);
+        self.pool_live(pool)?;
+        if addr.raw() < HEADER_SIZE as u64 {
+            return Err(AllocError::InvalidFree { addr }.into());
+        }
+        let header_addr = addr.sub(HEADER_SIZE as u64);
+        let h = machine.load_u64(header_addr)?;
+        if !header::header_in_use(h) {
+            return Err(AllocError::InvalidFree { addr }.into());
+        }
+        let requested = header::header_requested(h);
+        let capacity = header::header_capacity(h);
+        machine.store_u64(header_addr, header::pack_header(requested, capacity, false))?;
+        match header::class_of_capacity(capacity) {
+            Some(class) => {
+                let p = self.pool_live(pool)?;
+                let next = p.classes[class].free_head.map_or(0, VirtAddr::raw);
+                machine.store_u64(addr, next)?;
+                self.pool_live(pool)?.classes[class].free_head = Some(addr);
+            }
+            None => {
+                let pages = (capacity + HEADER_SIZE) / PAGE_SIZE;
+                self.pool_live(pool)?.large_free.push((pages, header_addr));
+            }
+        }
+        self.pool_live(pool)?.stats.note_free(requested);
+        Ok(())
+    }
+
+    /// Reads the requested size of the live allocation at `addr` from its
+    /// boundary header (pool-independent).
+    ///
+    /// # Errors
+    /// As for [`dangle_heap::Allocator::size_of`].
+    pub fn size_of(&self, machine: &mut Machine, addr: VirtAddr) -> Result<usize, PoolError> {
+        if addr.raw() < HEADER_SIZE as u64 {
+            return Err(AllocError::InvalidFree { addr }.into());
+        }
+        let h = machine.load_u64(addr.sub(HEADER_SIZE as u64))?;
+        if !header::header_in_use(h) {
+            return Err(AllocError::InvalidFree { addr }.into());
+        }
+        Ok(header::header_requested(h))
+    }
+
+    /// `pooldestroy`: releases **all** the pool's pages — canonical and
+    /// registered shadow pages alike — to the shared free list (when reuse
+    /// is enabled). The pool id becomes a tombstone.
+    ///
+    /// Safety of the subsequent reuse rests on the APA contract that no
+    /// pointer into this pool is live; see the [module docs](self).
+    ///
+    /// # Errors
+    /// Pool-id errors as for [`PoolSet::alloc`].
+    pub fn destroy(&mut self, machine: &mut Machine, pool: PoolId) -> Result<(), PoolError> {
+        machine.tick(LOGIC_COST);
+        let reuse = self.config.reuse_pages;
+        let p = self.pool_live(pool)?;
+        p.destroyed = true;
+        let mut pages = std::mem::take(&mut p.pages);
+        pages.append(&mut std::mem::take(&mut p.extra_pages));
+        p.classes = Default::default();
+        p.large_free.clear();
+        if reuse {
+            self.release_pages(pages);
+        }
+        self.stats.pools_destroyed += 1;
+        Ok(())
+    }
+
+    /// Registers an extra (shadow) page with `pool`, to be recycled at
+    /// `pooldestroy`. Called by the dangling-pointer detector for every
+    /// shadow page it creates for an object of this pool.
+    ///
+    /// # Errors
+    /// Pool-id errors as for [`PoolSet::alloc`].
+    pub fn register_extra_page(&mut self, pool: PoolId, page: PageNum) -> Result<(), PoolError> {
+        self.pool_live(pool)?.extra_pages.push(page);
+        Ok(())
+    }
+
+    /// Removes a previously registered extra page from `pool` without
+    /// recycling it (the §3.4 GC reclaims such pages early, then donates
+    /// them via [`PoolSet::donate_page`]). Returns whether the page was
+    /// registered.
+    pub fn take_extra_page(&mut self, pool: PoolId, page: PageNum) -> bool {
+        match self.pool_live(pool) {
+            Ok(p) => {
+                if let Some(i) = p.extra_pages.iter().position(|&x| x == page) {
+                    p.extra_pages.swap_remove(i);
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Pushes a page onto the shared free list directly. Used by the §3.4
+    /// conservative GC when it proves a shadow page unreferenced.
+    pub fn donate_page(&mut self, page: PageNum) {
+        self.release_run(page, 1);
+    }
+
+    /// Records that an object in `from` was observed to hold a pointer into
+    /// `to` (dynamic pool points-to graph, §3.4).
+    pub fn note_pool_edge(&mut self, from: PoolId, to: PoolId) {
+        if from == to {
+            return;
+        }
+        if let Ok(p) = self.pool_live(from) {
+            if !p.points_to.contains(&to) {
+                p.points_to.push(to);
+            }
+        }
+    }
+
+    /// The pools `pool` is known to point into.
+    ///
+    /// # Errors
+    /// [`PoolError::Unknown`] for a bad id.
+    pub fn pool_edges(&self, pool: PoolId) -> Result<&[PoolId], PoolError> {
+        Ok(&self.pool(pool)?.points_to)
+    }
+
+    /// Whether `pool` has been destroyed.
+    ///
+    /// # Errors
+    /// [`PoolError::Unknown`] for a bad id.
+    pub fn is_destroyed(&self, pool: PoolId) -> Result<bool, PoolError> {
+        Ok(self.pool(pool)?.destroyed)
+    }
+
+    /// Allocation counters of one pool.
+    ///
+    /// # Errors
+    /// [`PoolError::Unknown`] for a bad id.
+    pub fn pool_stats(&self, pool: PoolId) -> Result<AllocStats, PoolError> {
+        Ok(self.pool(pool)?.stats)
+    }
+
+    /// The element-size hint `pool` was created with.
+    ///
+    /// # Errors
+    /// [`PoolError::Unknown`] for a bad id.
+    pub fn elem_hint(&self, pool: PoolId) -> Result<usize, PoolError> {
+        Ok(self.pool(pool)?.elem_hint)
+    }
+
+    /// Number of pages currently waiting on the shared free list.
+    pub fn free_page_count(&self) -> usize {
+        self.free_runs.iter().map(|&(_, len)| len as usize).sum()
+    }
+
+    /// Ids of all live (not destroyed) pools.
+    pub fn live_pools(&self) -> Vec<PoolId> {
+        (0..self.pools.len() as u32)
+            .map(PoolId)
+            .filter(|&id| !self.pools[id.0 as usize].destroyed)
+            .collect()
+    }
+
+    /// The canonical pages currently owned by `pool`.
+    ///
+    /// # Errors
+    /// [`PoolError::Unknown`] for a bad id.
+    pub fn pool_pages(&self, pool: PoolId) -> Result<&[PageNum], PoolError> {
+        Ok(&self.pool(pool)?.pages)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> PoolSetStats {
+        self.stats
+    }
+
+    /// The configuration this set was created with.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Machine, PoolSet) {
+        (Machine::free_running(), PoolSet::new())
+    }
+
+    #[test]
+    fn lifecycle_alloc_free_destroy() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(16);
+        let a = ps.alloc(&mut m, pp, 16).unwrap();
+        m.store_u64(a, 99).unwrap();
+        assert_eq!(m.load_u64(a).unwrap(), 99);
+        ps.free(&mut m, pp, a).unwrap();
+        ps.destroy(&mut m, pp).unwrap();
+        assert!(ps.is_destroyed(pp).unwrap());
+    }
+
+    #[test]
+    fn operations_on_destroyed_pool_fail() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(8);
+        ps.destroy(&mut m, pp).unwrap();
+        assert!(matches!(ps.alloc(&mut m, pp, 8), Err(PoolError::Destroyed(_))));
+        assert!(matches!(ps.destroy(&mut m, pp), Err(PoolError::Destroyed(_))));
+    }
+
+    #[test]
+    fn unknown_pool_fails() {
+        let (mut m, mut ps) = setup();
+        assert!(matches!(ps.alloc(&mut m, PoolId(9), 8), Err(PoolError::Unknown(_))));
+    }
+
+    #[test]
+    fn small_objects_share_a_page() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(16);
+        let a = ps.alloc(&mut m, pp, 16).unwrap();
+        let b = ps.alloc(&mut m, pp, 16).unwrap();
+        assert_eq!(a.page(), b.page(), "pool carves multiple blocks per page");
+    }
+
+    #[test]
+    fn classes_use_distinct_pages() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(0);
+        let small = ps.alloc(&mut m, pp, 16).unwrap();
+        let big = ps.alloc(&mut m, pp, 1024).unwrap();
+        assert_ne!(small.page(), big.page());
+    }
+
+    #[test]
+    fn free_list_reuses_block_within_pool() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(64);
+        let a = ps.alloc(&mut m, pp, 64).unwrap();
+        ps.free(&mut m, pp, a).unwrap();
+        let b = ps.alloc(&mut m, pp, 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pools_are_segregated() {
+        let (mut m, mut ps) = setup();
+        let p1 = ps.create(16);
+        let p2 = ps.create(16);
+        let a = ps.alloc(&mut m, p1, 16).unwrap();
+        let b = ps.alloc(&mut m, p2, 16).unwrap();
+        assert_ne!(a.page(), b.page(), "different pools never share pages");
+    }
+
+    #[test]
+    fn destroy_recycles_pages_for_new_pools() {
+        let (mut m, mut ps) = setup();
+        let p1 = ps.create(16);
+        let a = ps.alloc(&mut m, p1, 16).unwrap();
+        let a_page = a.page();
+        ps.destroy(&mut m, p1).unwrap();
+        assert_eq!(ps.free_page_count(), 1);
+
+        let p2 = ps.create(16);
+        let b = ps.alloc(&mut m, p2, 16).unwrap();
+        assert_eq!(b.page(), a_page, "virtual page recycled from the free list");
+        assert_eq!(ps.stats().pages_recycled, 1);
+        // Recycled page reads as zero (fresh frame).
+        assert_eq!(m.load_u64(b).unwrap(), 0);
+    }
+
+    #[test]
+    fn recycling_severs_physical_aliasing() {
+        let (mut m, mut ps) = setup();
+        let p1 = ps.create(16);
+        let a = ps.alloc(&mut m, p1, 16).unwrap();
+        // Simulate a detector shadow page aliasing a's frame.
+        let shadow = m.mremap_alias(a, 1).unwrap();
+        ps.register_extra_page(p1, shadow.page()).unwrap();
+        ps.destroy(&mut m, p1).unwrap();
+
+        // Both pages are recycled; they must not share a frame afterwards.
+        let p2 = ps.create(16);
+        let x = ps.alloc(&mut m, p2, 16).unwrap();
+        let y = ps.alloc(&mut m, p2, 1024).unwrap();
+        if x.page() != y.page() {
+            assert_ne!(m.frame_of(x), m.frame_of(y), "recycled pages must have fresh frames");
+        }
+    }
+
+    #[test]
+    fn virtual_address_consumption_bounded_with_reuse() {
+        let (mut m, mut ps) = setup();
+        // Repeatedly create/fill/destroy pools: VA use must plateau.
+        let mut consumed_after_warmup = 0;
+        for round in 0..50 {
+            let pp = ps.create(16);
+            for _ in 0..20 {
+                ps.alloc(&mut m, pp, 32).unwrap();
+            }
+            ps.destroy(&mut m, pp).unwrap();
+            if round == 1 {
+                consumed_after_warmup = m.virt_pages_consumed();
+            }
+        }
+        assert_eq!(
+            m.virt_pages_consumed(),
+            consumed_after_warmup,
+            "after warm-up no fresh VA should be needed"
+        );
+    }
+
+    #[test]
+    fn no_reuse_config_grows_va_forever() {
+        let mut m = Machine::free_running();
+        let mut ps = PoolSet::with_config(PoolConfig { reuse_pages: false });
+        let mut last = 0;
+        for _ in 0..10 {
+            let pp = ps.create(16);
+            ps.alloc(&mut m, pp, 32).unwrap();
+            ps.destroy(&mut m, pp).unwrap();
+            let now = m.virt_pages_consumed();
+            assert!(now > last, "VA must keep growing without reuse");
+            last = now;
+        }
+        assert_eq!(ps.free_page_count(), 0);
+    }
+
+    #[test]
+    fn double_free_detected_by_header() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(16);
+        let a = ps.alloc(&mut m, pp, 16).unwrap();
+        ps.free(&mut m, pp, a).unwrap();
+        assert!(matches!(
+            ps.free(&mut m, pp, a),
+            Err(PoolError::Alloc(AllocError::InvalidFree { .. }))
+        ));
+    }
+
+    #[test]
+    fn large_allocation_round_trip() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(0);
+        let big = ps.alloc(&mut m, pp, 3 * PAGE_SIZE).unwrap();
+        m.fill(big, 0xee, 3 * PAGE_SIZE).unwrap();
+        ps.free(&mut m, pp, big).unwrap();
+        let again = ps.alloc(&mut m, pp, 2 * PAGE_SIZE).unwrap();
+        assert_eq!(again, big, "large run reused within the pool");
+        ps.destroy(&mut m, pp).unwrap();
+        assert!(ps.free_page_count() >= 4, "large pages recycled at destroy");
+    }
+
+    #[test]
+    fn size_of_reads_header() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(0);
+        let a = ps.alloc(&mut m, pp, 123).unwrap();
+        assert_eq!(ps.size_of(&mut m, a).unwrap(), 123);
+        ps.free(&mut m, pp, a).unwrap();
+        assert!(ps.size_of(&mut m, a).is_err());
+    }
+
+    #[test]
+    fn pool_edges_recorded_once() {
+        let (_m, mut ps) = setup();
+        let a = ps.create(8);
+        let b = ps.create(8);
+        ps.note_pool_edge(a, b);
+        ps.note_pool_edge(a, b);
+        ps.note_pool_edge(a, a); // self edges ignored
+        assert_eq!(ps.pool_edges(a).unwrap(), &[b]);
+        assert!(ps.pool_edges(b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn live_pools_listing() {
+        let (mut m, mut ps) = setup();
+        let a = ps.create(8);
+        let b = ps.create(8);
+        ps.destroy(&mut m, a).unwrap();
+        assert_eq!(ps.live_pools(), vec![b]);
+    }
+
+    #[test]
+    fn free_runs_coalesce_consecutive_pages() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(0);
+        // A 4-page large allocation: its pages are consecutive.
+        let big = ps.alloc(&mut m, pp, 3 * PAGE_SIZE + 100).unwrap();
+        let base_page = big.page();
+        ps.destroy(&mut m, pp).unwrap();
+        assert_eq!(ps.free_page_count(), 4);
+        // A new pool can take the whole run back as one contiguous block.
+        let p2 = ps.create(0);
+        let again = ps.alloc(&mut m, p2, 3 * PAGE_SIZE + 100).unwrap();
+        assert_eq!(again.page(), base_page, "the coalesced run was reused");
+    }
+
+    #[test]
+    fn take_free_run_splits_larger_runs() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(0);
+        ps.alloc(&mut m, pp, 5 * PAGE_SIZE).unwrap(); // 6-page run
+        ps.destroy(&mut m, pp).unwrap();
+        let first = ps.take_free_run(2).unwrap();
+        let second = ps.take_free_run(2).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(ps.free_page_count(), 2, "6 - 2 - 2");
+        assert!(ps.take_free_run(3).is_none(), "only 2 contiguous left");
+        assert!(ps.take_free_run(2).is_some());
+        assert_eq!(ps.free_page_count(), 0);
+    }
+
+    #[test]
+    fn take_free_run_zero_and_disabled() {
+        let (mut m, mut ps) = setup();
+        assert!(ps.take_free_run(0).is_none());
+        let pp = ps.create(0);
+        ps.alloc(&mut m, pp, 16).unwrap();
+        ps.destroy(&mut m, pp).unwrap();
+        assert!(ps.take_free_run(1).is_some());
+
+        let mut no_reuse = PoolSet::with_config(PoolConfig { reuse_pages: false });
+        let pp = no_reuse.create(0);
+        no_reuse.alloc(&mut m, pp, 16).unwrap();
+        no_reuse.destroy(&mut m, pp).unwrap();
+        assert!(no_reuse.take_free_run(1).is_none());
+    }
+
+    #[test]
+    fn scattered_pages_released_as_separate_runs() {
+        let (mut m, mut ps) = setup();
+        let keep = ps.create(16);
+        let gap = ps.create(16);
+        // Interleave page acquisition so `keep`'s pages are non-consecutive.
+        ps.alloc(&mut m, keep, 16).unwrap();
+        ps.alloc(&mut m, gap, 16).unwrap();
+        ps.alloc(&mut m, keep, 1024).unwrap(); // second class => second page
+        ps.destroy(&mut m, keep).unwrap();
+        assert_eq!(ps.free_page_count(), 2);
+        // The two freed pages are NOT contiguous (gap's page sits between),
+        // so no 2-page run exists.
+        assert!(ps.take_free_run(2).is_none());
+        assert!(ps.take_free_run(1).is_some());
+        assert!(ps.take_free_run(1).is_some());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(16);
+        let a = ps.alloc(&mut m, pp, 10).unwrap();
+        ps.free(&mut m, pp, a).unwrap();
+        let s = ps.pool_stats(pp).unwrap();
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.frees, 1);
+        ps.destroy(&mut m, pp).unwrap();
+        assert_eq!(ps.stats().pools_created, 1);
+        assert_eq!(ps.stats().pools_destroyed, 1);
+        assert!(ps.stats().pages_released >= 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Create,
+        Alloc { pool: usize, size: usize },
+        Free { pool: usize, idx: usize },
+        Destroy { pool: usize },
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![
+                1 => Just(Op::Create),
+                4 => (0usize..8, 1usize..6000).prop_map(|(pool, size)| Op::Alloc { pool, size }),
+                2 => (0usize..8, 0usize..32).prop_map(|(pool, idx)| Op::Free { pool, idx }),
+                1 => (0usize..8).prop_map(|pool| Op::Destroy { pool }),
+            ],
+            1..100,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Random pool traffic: live objects across *all* pools never
+        /// overlap and always carry their data; destroyed pools reject
+        /// operations; page recycling never corrupts a live object.
+        #[test]
+        fn pool_integrity(script in ops()) {
+            let mut m = Machine::free_running();
+            let mut ps = PoolSet::new();
+            let mut pools: Vec<PoolId> = Vec::new();
+            // live[pool] = Vec<(addr, size, seed)>
+            let mut live: Vec<Vec<(VirtAddr, usize, u8)>> = Vec::new();
+            let mut destroyed: Vec<bool> = Vec::new();
+            let mut seed = 1u8;
+
+            for op in script {
+                match op {
+                    Op::Create => {
+                        pools.push(ps.create(16));
+                        live.push(Vec::new());
+                        destroyed.push(false);
+                    }
+                    Op::Alloc { pool, size } => {
+                        if pools.is_empty() { continue; }
+                        let pi = pool % pools.len();
+                        if destroyed[pi] { continue; }
+                        seed = seed.wrapping_add(37);
+                        let p = ps.alloc(&mut m, pools[pi], size).unwrap();
+                        for objs in &live {
+                            for &(q, qs, _) in objs {
+                                let disjoint = p.raw() + size as u64 <= q.raw()
+                                    || q.raw() + qs as u64 <= p.raw();
+                                prop_assert!(disjoint, "overlap across pools");
+                            }
+                        }
+                        for i in 0..size.min(32) {
+                            m.store_u8(p.add(i as u64), seed.wrapping_add(i as u8)).unwrap();
+                        }
+                        live[pi].push((p, size, seed));
+                    }
+                    Op::Free { pool, idx } => {
+                        if pools.is_empty() { continue; }
+                        let pi = pool % pools.len();
+                        if destroyed[pi] || live[pi].is_empty() { continue; }
+                        let n = live[pi].len();
+                        let (p, size, s) = live[pi].swap_remove(idx % n);
+                        for i in 0..size.min(32) {
+                            prop_assert_eq!(
+                                m.load_u8(p.add(i as u64)).unwrap(),
+                                s.wrapping_add(i as u8),
+                                "data intact until free"
+                            );
+                        }
+                        ps.free(&mut m, pools[pi], p).unwrap();
+                    }
+                    Op::Destroy { pool } => {
+                        if pools.is_empty() { continue; }
+                        let pi = pool % pools.len();
+                        if destroyed[pi] { continue; }
+                        ps.destroy(&mut m, pools[pi]).unwrap();
+                        destroyed[pi] = true;
+                        live[pi].clear();
+                    }
+                }
+            }
+            // Final integrity sweep.
+            for (pi, objs) in live.iter().enumerate() {
+                if destroyed[pi] { continue; }
+                for &(p, size, s) in objs {
+                    for i in 0..size.min(32) {
+                        prop_assert_eq!(
+                            m.load_u8(p.add(i as u64)).unwrap(),
+                            s.wrapping_add(i as u8)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

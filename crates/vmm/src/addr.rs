@@ -1,0 +1,199 @@
+//! Virtual addresses and page arithmetic.
+//!
+//! The simulated machine uses 4 KiB pages, like the 32-bit Xeon/Linux system
+//! of the paper's evaluation and like the 64-bit systems its §3.4 analysis
+//! targets. Addresses are plain `u64` values wrapped in [`VirtAddr`] so they
+//! cannot be confused with sizes or host pointers.
+
+use std::fmt;
+
+/// Base-2 logarithm of the page size (`p` in the paper's §3.2 notation).
+pub const PAGE_SHIFT: u32 = 12;
+/// Size of one virtual-memory page in bytes (4 KiB).
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+/// Mask selecting the offset-within-page bits of an address.
+pub const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A virtual address in the simulated 64-bit address space.
+///
+/// `VirtAddr` is the "pointer" type every other crate in the workspace
+/// traffics in: allocators return them, workloads store them inside
+/// simulated memory, and the detector revokes them by protecting the pages
+/// they point into.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The null address. Never mapped; dereferencing traps.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Returns the raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The page containing this address (`Page(a)` in the paper).
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset of this address within its page (`Offset(a)` in the
+    /// paper).
+    #[inline]
+    pub const fn offset(self) -> usize {
+        (self.0 & PAGE_MASK) as usize
+    }
+
+    /// The address `count` bytes past this one.
+    #[inline]
+    pub const fn add(self, count: u64) -> VirtAddr {
+        VirtAddr(self.0 + count)
+    }
+
+    /// The address `count` bytes before this one.
+    ///
+    /// # Panics
+    /// Panics if the subtraction underflows.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate pointer arithmetic, like `ptr::sub`
+    pub fn sub(self, count: u64) -> VirtAddr {
+        VirtAddr(self.0.checked_sub(count).expect("virtual address underflow"))
+    }
+
+    /// Number of pages an object of `size` bytes starting at this address
+    /// spans. Zero-sized objects still occupy one page slot.
+    pub fn span_pages(self, size: usize) -> usize {
+        if size == 0 {
+            return 1;
+        }
+        let first = self.0 >> PAGE_SHIFT;
+        let last = (self.0 + size as u64 - 1) >> PAGE_SHIFT;
+        (last - first + 1) as usize
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(a: VirtAddr) -> u64 {
+        a.0
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> VirtAddr {
+        VirtAddr(raw)
+    }
+}
+
+/// A virtual page number (address shifted right by [`PAGE_SHIFT`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(pub u64);
+
+impl PageNum {
+    /// The address of the first byte in this page.
+    #[inline]
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page `n` pages after this one.
+    #[inline]
+    pub const fn add(self, n: u64) -> PageNum {
+        PageNum(self.0 + n)
+    }
+
+    /// Raw page number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageNum({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page {:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_round_trip() {
+        let a = VirtAddr(0x1234_5678);
+        assert_eq!(a.page().base().raw() + a.offset() as u64, a.raw());
+    }
+
+    #[test]
+    fn offset_is_within_page() {
+        for raw in [0u64, 1, 4095, 4096, 4097, 0xffff_ffff] {
+            assert!(VirtAddr(raw).offset() < PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn span_pages_single_page() {
+        let base = PageNum(10).base();
+        assert_eq!(base.span_pages(1), 1);
+        assert_eq!(base.span_pages(PAGE_SIZE), 1);
+        assert_eq!(base.span_pages(PAGE_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn span_pages_unaligned() {
+        // An object starting 8 bytes before a page boundary that is 16 bytes
+        // long straddles two pages.
+        let a = PageNum(4).base().add(PAGE_SIZE as u64 - 8);
+        assert_eq!(a.span_pages(16), 2);
+        assert_eq!(a.span_pages(8), 1);
+    }
+
+    #[test]
+    fn span_pages_zero_size() {
+        assert_eq!(VirtAddr(0x5000).span_pages(0), 1);
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(VirtAddr::NULL.is_null());
+        assert!(!VirtAddr(8).is_null());
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", VirtAddr(0x2a)), "0x2a");
+        assert_eq!(format!("{}", PageNum(0x10)), "page 0x10");
+    }
+
+    #[test]
+    fn page_base_round_trip() {
+        let p = PageNum(123);
+        assert_eq!(p.base().page(), p);
+    }
+}

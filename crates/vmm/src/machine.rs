@@ -1,0 +1,1019 @@
+//! The simulated machine: page tables, aliased physical frames, protection
+//! checks, and the memory-management system calls.
+//!
+//! [`Machine`] is the single mutable substrate everything else in the
+//! workspace runs on. Its design mirrors the paper's requirements:
+//!
+//! * **Virtual pages are never recycled by the machine itself.** `mmap` and
+//!   `mremap_alias` hand out monotonically increasing page numbers, so once
+//!   a shadow page is protected it stays "poisoned" forever — unless a
+//!   higher layer (the pool runtime) deliberately re-maps a page it has
+//!   *proved* unreachable, via [`Machine::mmap_fixed`]. This makes the
+//!   paper's soundness guarantee (`§3.2`: detect a dangling access
+//!   "arbitrarily far in the future") directly testable.
+//! * **Physical frames are reference counted**, because Insight 1 is
+//!   precisely that several virtual pages may map one frame. A frame is
+//!   released only when its last mapping goes away.
+//! * **Every access is checked** against the page protection, and charged
+//!   against the [`CostModel`] including TLB and L1 effects.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::addr::{PageNum, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+use crate::cache::{CacheConfig, L1Cache};
+use crate::cost::CostModel;
+use crate::stats::MachineStats;
+use crate::tlb::{Tlb, TlbConfig};
+use crate::trap::Trap;
+
+/// Per-page protection bits, as set by [`Machine::mprotect`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Protection {
+    /// `PROT_NONE`: any access traps. This is the state the detector puts
+    /// shadow pages into when their object is freed.
+    None,
+    /// `PROT_READ`: loads allowed, stores trap.
+    Read,
+    /// `PROT_READ | PROT_WRITE`: full access (the default for fresh maps).
+    #[default]
+    ReadWrite,
+}
+
+impl Protection {
+    /// Whether an access of the given kind is permitted.
+    pub fn allows(self, access: AccessKind) -> bool {
+        match (self, access) {
+            (Protection::None, _) => false,
+            (Protection::Read, AccessKind::Read) => true,
+            (Protection::Read, AccessKind::Write) => false,
+            (Protection::ReadWrite, _) => true,
+        }
+    }
+}
+
+/// Whether a memory access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// Configuration for a [`Machine`].
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Cycle charges.
+    pub cost: CostModel,
+    /// TLB geometry.
+    pub tlb: TlbConfig,
+    /// L1 data-cache geometry.
+    pub cache: CacheConfig,
+    /// Maximum simultaneously live physical frames (simulated RAM size in
+    /// pages). Default: 1 Mi frames = 4 GiB.
+    pub phys_frames: usize,
+    /// Virtual address budget in pages. Default: 2^35 pages = the 2^47
+    /// bytes of user VA the paper's §3.4 analysis assumes.
+    pub virt_pages: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            cost: CostModel::calibrated(),
+            tlb: TlbConfig::default(),
+            cache: CacheConfig::default(),
+            phys_frames: 1 << 20,
+            virt_pages: 1 << 35,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pte {
+    frame: u32,
+    prot: Protection,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    data: Vec<u8>,
+    refcount: u32,
+}
+
+/// The simulated machine. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    frames: Vec<Option<Frame>>,
+    free_frames: Vec<u32>,
+    page_table: HashMap<u64, Pte>,
+    /// Next virtual page number to hand out; starts above a guard region so
+    /// that null and near-null pointers always trap.
+    next_vpn: u64,
+    first_vpn: u64,
+    tlb: Tlb,
+    cache: L1Cache,
+    clock: u64,
+    stats: MachineStats,
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with the default (calibrated) configuration.
+    pub fn new() -> Machine {
+        Machine::with_config(MachineConfig::default())
+    }
+
+    /// Creates a machine with an explicit configuration.
+    pub fn with_config(config: MachineConfig) -> Machine {
+        let first_vpn = 16; // pages 0..16 form a trapping guard region
+        Machine {
+            config,
+            frames: Vec::new(),
+            free_frames: Vec::new(),
+            page_table: HashMap::new(),
+            next_vpn: first_vpn,
+            first_vpn,
+            tlb: Tlb::new(config.tlb),
+            cache: L1Cache::new(config.cache),
+            clock: 0,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// Creates a machine whose cost model charges nothing — convenient for
+    /// purely functional tests.
+    pub fn free_running() -> Machine {
+        Machine::with_config(MachineConfig { cost: CostModel::free(), ..MachineConfig::default() })
+    }
+
+    // ------------------------------------------------------------------
+    // Clock and stats.
+    // ------------------------------------------------------------------
+
+    /// Current simulated cycle count.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the clock by `cycles` of modelled computation.
+    pub fn tick(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// TLB hit/miss counters.
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// L1 cache hit/miss counters.
+    pub fn cache(&self) -> &L1Cache {
+        &self.cache
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Total distinct virtual pages handed out so far.
+    pub fn virt_pages_consumed(&self) -> u64 {
+        self.next_vpn - self.first_vpn
+    }
+
+    // ------------------------------------------------------------------
+    // Frame management (private).
+    // ------------------------------------------------------------------
+
+    fn alloc_frame(&mut self) -> Result<u32, Trap> {
+        if let Some(idx) = self.free_frames.pop() {
+            let f = self.frames[idx as usize]
+                .as_mut()
+                .expect("free frame slot must exist");
+            f.data.iter_mut().for_each(|b| *b = 0);
+            f.refcount = 1;
+            self.note_frame_alloc();
+            return Ok(idx);
+        }
+        if self.stats.phys_frames_in_use as usize >= self.config.phys_frames {
+            return Err(Trap::OutOfPhysicalMemory);
+        }
+        let idx = self.frames.len() as u32;
+        self.frames.push(Some(Frame { data: vec![0u8; PAGE_SIZE], refcount: 1 }));
+        self.note_frame_alloc();
+        Ok(idx)
+    }
+
+    fn note_frame_alloc(&mut self) {
+        self.stats.phys_frames_in_use += 1;
+        self.stats.phys_frames_peak =
+            self.stats.phys_frames_peak.max(self.stats.phys_frames_in_use);
+        self.clock += self.config.cost.page_zero;
+    }
+
+    fn incref_frame(&mut self, idx: u32) {
+        self.frames[idx as usize]
+            .as_mut()
+            .expect("frame must exist")
+            .refcount += 1;
+    }
+
+    fn decref_frame(&mut self, idx: u32) {
+        let f = self.frames[idx as usize].as_mut().expect("frame must exist");
+        debug_assert!(f.refcount > 0);
+        f.refcount -= 1;
+        if f.refcount == 0 {
+            self.free_frames.push(idx);
+            self.stats.phys_frames_in_use -= 1;
+        }
+    }
+
+    fn take_vpns(&mut self, pages: usize) -> Result<u64, Trap> {
+        let pages = pages as u64;
+        if self.next_vpn + pages > self.first_vpn + self.config.virt_pages {
+            return Err(Trap::OutOfVirtualMemory);
+        }
+        let base = self.next_vpn;
+        self.next_vpn += pages;
+        self.stats.virt_pages_allocated += pages;
+        Ok(base)
+    }
+
+    fn map_vpn(&mut self, vpn: u64, frame: u32, prot: Protection) {
+        let prev = self.page_table.insert(vpn, Pte { frame, prot });
+        if let Some(old) = prev {
+            self.decref_frame(old.frame);
+            self.tlb.invalidate(vpn);
+        } else {
+            self.stats.virt_pages_mapped += 1;
+            self.stats.virt_pages_mapped_peak =
+                self.stats.virt_pages_mapped_peak.max(self.stats.virt_pages_mapped);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // System calls.
+    // ------------------------------------------------------------------
+
+    fn charge_syscall(&mut self, base: u64, pages: usize) {
+        self.clock += base + self.config.cost.syscall_per_page * pages as u64;
+    }
+
+    /// `mmap`: maps `pages` fresh virtual pages to fresh zeroed frames with
+    /// [`Protection::ReadWrite`], returning the base address.
+    ///
+    /// # Errors
+    /// [`Trap::OutOfVirtualMemory`] or [`Trap::OutOfPhysicalMemory`] on
+    /// exhaustion.
+    ///
+    /// # Panics
+    /// Panics if `pages` is zero.
+    pub fn mmap(&mut self, pages: usize) -> Result<VirtAddr, Trap> {
+        assert!(pages > 0, "mmap of zero pages");
+        self.stats.mmap_calls += 1;
+        self.charge_syscall(self.config.cost.syscall_mmap, pages);
+        let base = self.take_vpns(pages)?;
+        for i in 0..pages as u64 {
+            let frame = self.alloc_frame()?;
+            self.map_vpn(base + i, frame, Protection::ReadWrite);
+        }
+        Ok(PageNum(base).base())
+    }
+
+    /// `mmap(MAP_FIXED)`: re-maps `pages` existing virtual pages starting at
+    /// `addr` (page-aligned) to *fresh zeroed frames* with full access. Any
+    /// previous mapping of those pages (including aliases onto shared
+    /// frames) is replaced, and the old frames are released when their last
+    /// reference disappears.
+    ///
+    /// This is the operation the pool runtime uses to *recycle* virtual
+    /// pages from the shared free list: recycling must sever the old
+    /// physical aliasing, otherwise two live objects could silently share a
+    /// frame.
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] if `addr` is not page-aligned or the
+    /// range was never allocated; [`Trap::OutOfPhysicalMemory`] on frame
+    /// exhaustion.
+    pub fn mmap_fixed(&mut self, addr: VirtAddr, pages: usize) -> Result<(), Trap> {
+        if addr.offset() != 0 || pages == 0 {
+            return Err(Trap::BadSyscallArgument { addr });
+        }
+        let base = addr.page().raw();
+        if base < self.first_vpn || base + pages as u64 > self.next_vpn {
+            return Err(Trap::BadSyscallArgument { addr });
+        }
+        self.stats.mmap_calls += 1;
+        self.charge_syscall(self.config.cost.syscall_mmap, pages);
+        for i in 0..pages as u64 {
+            let frame = self.alloc_frame()?;
+            self.map_vpn(base + i, frame, Protection::ReadWrite);
+            self.tlb.invalidate(base + i);
+        }
+        Ok(())
+    }
+
+    /// `mremap(old, 0, len)`: the paper's §3.2 aliasing trick. Creates
+    /// `pages` *fresh* virtual pages mapped to the **same physical frames**
+    /// as the pages containing `src`, with full access, and returns the new
+    /// base address. The original mapping is untouched.
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] if any source page is unmapped;
+    /// [`Trap::OutOfVirtualMemory`] on VA exhaustion.
+    ///
+    /// # Panics
+    /// Panics if `pages` is zero.
+    pub fn mremap_alias(&mut self, src: VirtAddr, pages: usize) -> Result<VirtAddr, Trap> {
+        assert!(pages > 0, "mremap of zero pages");
+        self.stats.mremap_calls += 1;
+        self.charge_syscall(self.config.cost.syscall_mremap, pages);
+        let src_base = src.page().raw();
+        // Validate the whole source range before mutating anything.
+        let mut frames = Vec::with_capacity(pages);
+        for i in 0..pages as u64 {
+            match self.page_table.get(&(src_base + i)) {
+                Some(pte) => frames.push(pte.frame),
+                None => {
+                    return Err(Trap::BadSyscallArgument {
+                        addr: PageNum(src_base + i).base(),
+                    })
+                }
+            }
+        }
+        let new_base = self.take_vpns(pages)?;
+        for (i, frame) in frames.into_iter().enumerate() {
+            self.incref_frame(frame);
+            self.map_vpn(new_base + i as u64, frame, Protection::ReadWrite);
+        }
+        Ok(PageNum(new_base).base())
+    }
+
+    /// `mmap(MAP_FIXED)` onto a shared region: re-maps `pages` virtual pages
+    /// starting at `dst` (page-aligned) as **aliases of the frames backing
+    /// `src`**, with full access. Used by the §3.4 "reuse shadow VA after a
+    /// threshold" mitigation, where old shadow pages are deliberately
+    /// recycled as new shadow views (giving up the detection guarantee for
+    /// pointers older than the threshold).
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] if `dst` is unaligned or outside the
+    /// allocated VA range, or if any source page is unmapped.
+    pub fn alias_fixed(
+        &mut self,
+        src: VirtAddr,
+        dst: VirtAddr,
+        pages: usize,
+    ) -> Result<(), Trap> {
+        if dst.offset() != 0 || pages == 0 {
+            return Err(Trap::BadSyscallArgument { addr: dst });
+        }
+        let dst_base = dst.page().raw();
+        if dst_base < self.first_vpn || dst_base + pages as u64 > self.next_vpn {
+            return Err(Trap::BadSyscallArgument { addr: dst });
+        }
+        self.stats.mmap_calls += 1;
+        self.charge_syscall(self.config.cost.syscall_mmap, pages);
+        let src_base = src.page().raw();
+        let mut frames = Vec::with_capacity(pages);
+        for i in 0..pages as u64 {
+            match self.page_table.get(&(src_base + i)) {
+                Some(pte) => frames.push(pte.frame),
+                None => {
+                    return Err(Trap::BadSyscallArgument {
+                        addr: PageNum(src_base + i).base(),
+                    })
+                }
+            }
+        }
+        for (i, frame) in frames.into_iter().enumerate() {
+            self.incref_frame(frame);
+            self.map_vpn(dst_base + i as u64, frame, Protection::ReadWrite);
+            self.tlb.invalidate(dst_base + i as u64);
+        }
+        Ok(())
+    }
+
+    /// `mprotect`: sets the protection of `pages` pages starting at the page
+    /// containing `addr`. Invalidate the affected TLB entries (shootdown).
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] if any page in the range is unmapped.
+    pub fn mprotect(
+        &mut self,
+        addr: VirtAddr,
+        pages: usize,
+        prot: Protection,
+    ) -> Result<(), Trap> {
+        self.stats.mprotect_calls += 1;
+        self.charge_syscall(self.config.cost.syscall_mprotect, pages);
+        let base = addr.page().raw();
+        for i in 0..pages as u64 {
+            if !self.page_table.contains_key(&(base + i)) {
+                return Err(Trap::BadSyscallArgument { addr: PageNum(base + i).base() });
+            }
+        }
+        for i in 0..pages as u64 {
+            self.page_table.get_mut(&(base + i)).expect("checked above").prot = prot;
+            self.tlb.invalidate(base + i);
+        }
+        Ok(())
+    }
+
+    /// `munmap`: removes the mapping of `pages` pages starting at the page
+    /// containing `addr`. Unmapped pages in the range are skipped (as on
+    /// Linux). Frames are released when their last mapping disappears.
+    pub fn munmap(&mut self, addr: VirtAddr, pages: usize) -> Result<(), Trap> {
+        self.stats.munmap_calls += 1;
+        self.charge_syscall(self.config.cost.syscall_munmap, pages);
+        let base = addr.page().raw();
+        for i in 0..pages as u64 {
+            if let Some(pte) = self.page_table.remove(&(base + i)) {
+                self.decref_frame(pte.frame);
+                self.tlb.invalidate(base + i);
+                self.stats.virt_pages_mapped -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// A kernel round-trip that does nothing: used by the
+    /// `PA + dummy syscalls` measurement configuration of Tables 1 and 3 to
+    /// isolate the system-call share of the overhead.
+    pub fn dummy_syscall(&mut self) {
+        self.stats.dummy_calls += 1;
+        self.clock += self.config.cost.syscall_dummy;
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection (no cost, no statistics).
+    // ------------------------------------------------------------------
+
+    /// The protection of the page containing `addr`, if mapped.
+    pub fn protection(&self, addr: VirtAddr) -> Option<Protection> {
+        self.page_table.get(&addr.page().raw()).map(|p| p.prot)
+    }
+
+    /// Whether the page containing `addr` is mapped at all.
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        self.page_table.contains_key(&addr.page().raw())
+    }
+
+    /// The physical frame backing the page containing `addr`, if mapped.
+    /// Exposed so tests and the pool runtime can verify aliasing.
+    pub fn frame_of(&self, addr: VirtAddr) -> Option<u32> {
+        self.page_table.get(&addr.page().raw()).map(|p| p.frame)
+    }
+
+    /// Reads memory without charges, checks or statistics — a debugger-style
+    /// peek used by diagnostics and tests. Returns `None` if unmapped.
+    pub fn peek_u64(&self, addr: VirtAddr) -> Option<u64> {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let a = addr.add(i as u64);
+            let pte = self.page_table.get(&a.page().raw())?;
+            let frame = self.frames[pte.frame as usize].as_ref()?;
+            *b = frame.data[a.offset()];
+        }
+        Some(u64::from_le_bytes(bytes))
+    }
+
+    // ------------------------------------------------------------------
+    // Checked, charged accesses.
+    // ------------------------------------------------------------------
+
+    /// Translates one access touching `[addr, addr+len)` **within a single
+    /// page**, charging TLB/cache costs and checking protection.
+    fn translate(
+        &mut self,
+        addr: VirtAddr,
+        len: usize,
+        access: AccessKind,
+    ) -> Result<(u32, usize), Trap> {
+        debug_assert!(addr.offset() + len <= PAGE_SIZE, "access crosses page");
+        self.clock += self.config.cost.mem_access;
+        match access {
+            AccessKind::Read => self.stats.loads += 1,
+            AccessKind::Write => self.stats.stores += 1,
+        }
+        let vpn = addr.page().raw();
+        if !self.tlb.access(vpn) {
+            self.clock += self.config.cost.tlb_miss;
+        }
+        let pte = match self.page_table.get(&vpn) {
+            Some(p) => *p,
+            None => {
+                self.stats.traps += 1;
+                return Err(Trap::Unmapped { addr, access });
+            }
+        };
+        if !pte.prot.allows(access) {
+            self.stats.traps += 1;
+            return Err(Trap::Protection { addr, prot: pte.prot, access });
+        }
+        let paddr = (pte.frame as u64) << PAGE_SHIFT | addr.offset() as u64;
+        if !self.cache.access(paddr) {
+            self.clock += self.config.cost.l1_miss;
+        }
+        Ok((pte.frame, addr.offset()))
+    }
+
+    /// Loads `width` bytes (1, 2, 4 or 8) little-endian from `addr`.
+    ///
+    /// # Errors
+    /// Returns the MMU [`Trap`] if any touched page is unmapped or
+    /// read-protected — this is how a dangling read is detected.
+    ///
+    /// # Panics
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn load(&mut self, addr: VirtAddr, width: usize) -> Result<u64, Trap> {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "bad load width {width}");
+        let mut bytes = [0u8; 8];
+        if addr.offset() + width <= PAGE_SIZE {
+            let (frame, off) = self.translate(addr, width, AccessKind::Read)?;
+            let data = &self.frames[frame as usize].as_ref().expect("mapped frame").data;
+            bytes[..width].copy_from_slice(&data[off..off + width]);
+        } else {
+            // Page-crossing access: split at the boundary (two TLB lookups,
+            // as on real hardware).
+            let first = PAGE_SIZE - addr.offset();
+            let (f1, o1) = self.translate(addr, first, AccessKind::Read)?;
+            let (f2, _) = self.translate(addr.add(first as u64), width - first, AccessKind::Read)?;
+            let d1 = &self.frames[f1 as usize].as_ref().expect("mapped frame").data;
+            bytes[..first].copy_from_slice(&d1[o1..o1 + first]);
+            let d2 = &self.frames[f2 as usize].as_ref().expect("mapped frame").data;
+            bytes[first..width].copy_from_slice(&d2[..width - first]);
+        }
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Stores the low `width` bytes (1, 2, 4 or 8) of `value` little-endian
+    /// at `addr`.
+    ///
+    /// # Errors
+    /// Returns the MMU [`Trap`] if any touched page is unmapped or
+    /// write-protected — this is how a dangling write is detected.
+    ///
+    /// # Panics
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn store(&mut self, addr: VirtAddr, width: usize, value: u64) -> Result<(), Trap> {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "bad store width {width}");
+        let bytes = value.to_le_bytes();
+        if addr.offset() + width <= PAGE_SIZE {
+            let (frame, off) = self.translate(addr, width, AccessKind::Write)?;
+            let data =
+                &mut self.frames[frame as usize].as_mut().expect("mapped frame").data;
+            data[off..off + width].copy_from_slice(&bytes[..width]);
+        } else {
+            let first = PAGE_SIZE - addr.offset();
+            let (f1, o1) = self.translate(addr, first, AccessKind::Write)?;
+            let (f2, _) =
+                self.translate(addr.add(first as u64), width - first, AccessKind::Write)?;
+            let d1 = &mut self.frames[f1 as usize].as_mut().expect("mapped frame").data;
+            d1[o1..o1 + first].copy_from_slice(&bytes[..first]);
+            let d2 = &mut self.frames[f2 as usize].as_mut().expect("mapped frame").data;
+            d2[..width - first].copy_from_slice(&bytes[first..width]);
+        }
+        Ok(())
+    }
+
+    /// Convenience: 8-byte load.
+    ///
+    /// # Errors
+    /// See [`Machine::load`].
+    pub fn load_u64(&mut self, addr: VirtAddr) -> Result<u64, Trap> {
+        self.load(addr, 8)
+    }
+
+    /// Convenience: 8-byte store.
+    ///
+    /// # Errors
+    /// See [`Machine::store`].
+    pub fn store_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), Trap> {
+        self.store(addr, 8, value)
+    }
+
+    /// Convenience: 1-byte load.
+    ///
+    /// # Errors
+    /// See [`Machine::load`].
+    pub fn load_u8(&mut self, addr: VirtAddr) -> Result<u8, Trap> {
+        Ok(self.load(addr, 1)? as u8)
+    }
+
+    /// Convenience: 1-byte store.
+    ///
+    /// # Errors
+    /// See [`Machine::store`].
+    pub fn store_u8(&mut self, addr: VirtAddr, value: u8) -> Result<(), Trap> {
+        self.store(addr, 1, value as u64)
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, charging one access per
+    /// 8-byte word per page-chunk (a bulk `memcpy`-style transfer).
+    ///
+    /// # Errors
+    /// See [`Machine::load`]; partial reads are not performed — the
+    /// destination buffer contents are unspecified on error.
+    pub fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), Trap> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr.add(pos as u64);
+            let chunk = (PAGE_SIZE - a.offset()).min(buf.len() - pos);
+            let (frame, off) = self.translate(a, chunk, AccessKind::Read)?;
+            // Charge the remaining words of the chunk beyond the first.
+            let words = chunk.div_ceil(8) as u64;
+            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.stats.loads += words.saturating_sub(1);
+            let data = &self.frames[frame as usize].as_ref().expect("mapped frame").data;
+            buf[pos..pos + chunk].copy_from_slice(&data[off..off + chunk]);
+            pos += chunk;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr` (bulk transfer; see
+    /// [`Machine::read_bytes`] for the cost convention).
+    ///
+    /// # Errors
+    /// See [`Machine::store`]; on error a prefix of the buffer may already
+    /// have been written.
+    pub fn write_bytes(&mut self, addr: VirtAddr, buf: &[u8]) -> Result<(), Trap> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr.add(pos as u64);
+            let chunk = (PAGE_SIZE - a.offset()).min(buf.len() - pos);
+            let (frame, off) = self.translate(a, chunk, AccessKind::Write)?;
+            let words = chunk.div_ceil(8) as u64;
+            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.stats.stores += words.saturating_sub(1);
+            let data = &mut self.frames[frame as usize].as_mut().expect("mapped frame").data;
+            data[off..off + chunk].copy_from_slice(&buf[pos..pos + chunk]);
+            pos += chunk;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes starting at `addr` with `byte` (bulk transfer).
+    ///
+    /// # Errors
+    /// See [`Machine::store`].
+    pub fn fill(&mut self, addr: VirtAddr, byte: u8, len: usize) -> Result<(), Trap> {
+        let mut pos = 0usize;
+        while pos < len {
+            let a = addr.add(pos as u64);
+            let chunk = (PAGE_SIZE - a.offset()).min(len - pos);
+            let (frame, off) = self.translate(a, chunk, AccessKind::Write)?;
+            let words = chunk.div_ceil(8) as u64;
+            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.stats.stores += words.saturating_sub(1);
+            let data = &mut self.frames[frame as usize].as_mut().expect("mapped frame").data;
+            data[off..off + chunk].iter_mut().for_each(|b| *b = byte);
+            pos += chunk;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Machine {
+        Machine::free_running()
+    }
+
+    #[test]
+    fn mmap_returns_zeroed_rw_pages() {
+        let mut m = m();
+        let a = m.mmap(3).unwrap();
+        assert_eq!(m.protection(a), Some(Protection::ReadWrite));
+        assert_eq!(m.load_u64(a).unwrap(), 0);
+        assert_eq!(m.load_u64(a.add(2 * PAGE_SIZE as u64)).unwrap(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip_all_widths() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        for (w, v) in [(1usize, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
+        {
+            m.store(a, w, v).unwrap();
+            assert_eq!(m.load(a, w).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn null_dereference_traps() {
+        let mut m = m();
+        let err = m.load_u64(VirtAddr::NULL).unwrap_err();
+        assert!(matches!(err, Trap::Unmapped { .. }));
+        assert_eq!(m.stats().traps, 1);
+    }
+
+    #[test]
+    fn page_crossing_access_works() {
+        let mut m = m();
+        let a = m.mmap(2).unwrap();
+        let cross = a.add(PAGE_SIZE as u64 - 4);
+        m.store_u64(cross, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load_u64(cross).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn page_crossing_traps_if_second_page_protected() {
+        let mut m = m();
+        let a = m.mmap(2).unwrap();
+        m.mprotect(a.add(PAGE_SIZE as u64), 1, Protection::None).unwrap();
+        let cross = a.add(PAGE_SIZE as u64 - 4);
+        assert!(m.store_u64(cross, 1).is_err());
+    }
+
+    #[test]
+    fn alias_sees_same_bytes() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a.add(128), 42).unwrap();
+        let alias = m.mremap_alias(a, 1).unwrap();
+        assert_ne!(alias.page(), a.page(), "alias must be a fresh virtual page");
+        assert_eq!(m.frame_of(alias), m.frame_of(a), "but the same physical frame");
+        assert_eq!(m.load_u64(alias.add(128)).unwrap(), 42);
+        // Writes through the alias are visible through the original.
+        m.store_u64(alias.add(8), 7).unwrap();
+        assert_eq!(m.load_u64(a.add(8)).unwrap(), 7);
+    }
+
+    #[test]
+    fn protecting_alias_leaves_canonical_usable() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        let alias = m.mremap_alias(a, 1).unwrap();
+        m.mprotect(alias, 1, Protection::None).unwrap();
+        assert!(m.load_u64(alias).is_err());
+        m.store_u64(a, 9).unwrap();
+        assert_eq!(m.load_u64(a).unwrap(), 9);
+    }
+
+    #[test]
+    fn read_protection_allows_loads_blocks_stores() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 5).unwrap();
+        m.mprotect(a, 1, Protection::Read).unwrap();
+        assert_eq!(m.load_u64(a).unwrap(), 5);
+        let err = m.store_u64(a, 6).unwrap_err();
+        assert!(matches!(
+            err,
+            Trap::Protection { prot: Protection::Read, access: AccessKind::Write, .. }
+        ));
+    }
+
+    #[test]
+    fn munmap_releases_frame_only_at_last_reference() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        let alias = m.mremap_alias(a, 1).unwrap();
+        let frames_before = m.stats().phys_frames_in_use;
+        m.munmap(a, 1).unwrap();
+        assert_eq!(m.stats().phys_frames_in_use, frames_before, "alias keeps frame live");
+        assert!(m.load_u64(a).is_err(), "unmapped canonical traps");
+        assert!(m.load_u64(alias).is_ok(), "alias still works");
+        m.munmap(alias, 1).unwrap();
+        assert_eq!(m.stats().phys_frames_in_use, frames_before - 1);
+    }
+
+    #[test]
+    fn vpns_are_never_recycled_by_mmap() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.munmap(a, 1).unwrap();
+        let b = m.mmap(1).unwrap();
+        assert_ne!(a.page(), b.page(), "machine must not reuse VA on its own");
+    }
+
+    #[test]
+    fn mmap_fixed_recycles_vpn_with_fresh_frame() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 77).unwrap();
+        let old_frame = m.frame_of(a).unwrap();
+        let alias = m.mremap_alias(a, 1).unwrap();
+        // Recycle the alias page: must get a *fresh zeroed* frame, severing
+        // the old aliasing.
+        m.mmap_fixed(alias, 1).unwrap();
+        assert_ne!(m.frame_of(alias).unwrap(), old_frame);
+        assert_eq!(m.load_u64(alias).unwrap(), 0);
+        // Original data still intact through the canonical page.
+        assert_eq!(m.load_u64(a).unwrap(), 77);
+    }
+
+    #[test]
+    fn mmap_fixed_rejects_unaligned_and_foreign_ranges() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        assert!(m.mmap_fixed(a.add(8), 1).is_err());
+        // A range the machine never handed out:
+        assert!(m.mmap_fixed(PageNum(1 << 30).base(), 1).is_err());
+    }
+
+    #[test]
+    fn alias_fixed_recycles_vpn_as_alias() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 55).unwrap();
+        let old_shadow = m.mremap_alias(a, 1).unwrap();
+        m.mprotect(old_shadow, 1, Protection::None).unwrap();
+        let b = m.mmap(1).unwrap();
+        m.store_u64(b, 66).unwrap();
+        // Recycle the protected shadow page as an alias of b.
+        m.alias_fixed(b, old_shadow, 1).unwrap();
+        assert_eq!(m.load_u64(old_shadow).unwrap(), 66);
+        assert_eq!(m.frame_of(old_shadow), m.frame_of(b));
+        assert_eq!(m.load_u64(a).unwrap(), 55, "a untouched");
+    }
+
+    #[test]
+    fn alias_fixed_rejects_bad_arguments() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        let s = m.mremap_alias(a, 1).unwrap();
+        assert!(m.alias_fixed(a, s.add(8), 1).is_err(), "unaligned dst");
+        assert!(m.alias_fixed(a, PageNum(1 << 30).base(), 1).is_err(), "foreign dst");
+        m.munmap(a, 1).unwrap();
+        assert!(m.alias_fixed(a, s, 1).is_err(), "unmapped src");
+    }
+
+    #[test]
+    fn mremap_of_unmapped_source_fails() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.munmap(a, 1).unwrap();
+        assert!(matches!(m.mremap_alias(a, 1), Err(Trap::BadSyscallArgument { .. })));
+    }
+
+    #[test]
+    fn mprotect_unmapped_fails() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.munmap(a, 1).unwrap();
+        assert!(m.mprotect(a, 1, Protection::None).is_err());
+    }
+
+    #[test]
+    fn out_of_virtual_memory() {
+        let mut m = Machine::with_config(MachineConfig {
+            cost: CostModel::free(),
+            virt_pages: 4,
+            ..MachineConfig::default()
+        });
+        assert!(m.mmap(3).is_ok());
+        assert!(matches!(m.mmap(2), Err(Trap::OutOfVirtualMemory)));
+        assert!(m.mmap(1).is_ok());
+    }
+
+    #[test]
+    fn out_of_physical_memory() {
+        let mut m = Machine::with_config(MachineConfig {
+            cost: CostModel::free(),
+            phys_frames: 2,
+            ..MachineConfig::default()
+        });
+        assert!(m.mmap(2).is_ok());
+        assert!(matches!(m.mmap(1), Err(Trap::OutOfPhysicalMemory)));
+    }
+
+    #[test]
+    fn aliases_do_not_consume_physical_memory() {
+        let mut m = Machine::with_config(MachineConfig {
+            cost: CostModel::free(),
+            phys_frames: 2,
+            ..MachineConfig::default()
+        });
+        let a = m.mmap(1).unwrap();
+        for _ in 0..100 {
+            m.mremap_alias(a, 1).unwrap();
+        }
+        assert_eq!(m.stats().phys_frames_in_use, 1);
+    }
+
+    #[test]
+    fn bulk_read_write_round_trip() {
+        let mut m = m();
+        let a = m.mmap(3).unwrap();
+        let data: Vec<u8> = (0..9000).map(|i| (i * 7 % 251) as u8).collect();
+        m.write_bytes(a.add(100), &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(a.add(100), &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fill_sets_range() {
+        let mut m = m();
+        let a = m.mmap(2).unwrap();
+        m.fill(a.add(4090), 0xcc, 20).unwrap();
+        for i in 0..20 {
+            assert_eq!(m.load_u8(a.add(4090 + i)).unwrap(), 0xcc);
+        }
+        assert_eq!(m.load_u8(a.add(4089)).unwrap(), 0);
+        assert_eq!(m.load_u8(a.add(4110)).unwrap(), 0);
+    }
+
+    #[test]
+    fn costs_are_charged() {
+        let mut m = Machine::new(); // calibrated costs
+        let c0 = m.clock();
+        let a = m.mmap(1).unwrap();
+        let c1 = m.clock();
+        assert!(c1 - c0 >= CostModel::calibrated().syscall_mmap);
+        m.load_u64(a).unwrap();
+        assert!(m.clock() > c1);
+    }
+
+    #[test]
+    fn dummy_syscall_charges_and_counts() {
+        let mut m = Machine::new();
+        let c0 = m.clock();
+        m.dummy_syscall();
+        assert_eq!(m.stats().dummy_calls, 1);
+        assert_eq!(m.clock() - c0, CostModel::calibrated().syscall_dummy);
+    }
+
+    #[test]
+    fn tlb_miss_charged_on_first_touch() {
+        let mut m = Machine::new();
+        let a = m.mmap(1).unwrap();
+        let before = m.tlb().misses();
+        m.load_u64(a).unwrap();
+        assert_eq!(m.tlb().misses(), before + 1);
+        m.load_u64(a.add(8)).unwrap();
+        assert_eq!(m.tlb().misses(), before + 1, "second access hits TLB");
+    }
+
+    #[test]
+    fn frame_reuse_zeroes_data() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 0xfeed).unwrap();
+        m.munmap(a, 1).unwrap();
+        let b = m.mmap(1).unwrap();
+        // b reuses a's frame (the only free one) but must read as zero.
+        assert_eq!(m.load_u64(b).unwrap(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_charge_or_count() {
+        let mut m = Machine::new();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 31).unwrap();
+        let clock = m.clock();
+        let loads = m.stats().loads;
+        assert_eq!(m.peek_u64(a), Some(31));
+        assert_eq!(m.clock(), clock);
+        assert_eq!(m.stats().loads, loads);
+        assert_eq!(m.peek_u64(VirtAddr::NULL), None);
+    }
+
+    #[test]
+    fn stats_track_mapping_peaks() {
+        let mut m = m();
+        let a = m.mmap(4).unwrap();
+        assert_eq!(m.stats().virt_pages_mapped, 4);
+        assert_eq!(m.stats().virt_pages_mapped_peak, 4);
+        m.munmap(a, 2).unwrap();
+        assert_eq!(m.stats().virt_pages_mapped, 2);
+        assert_eq!(m.stats().virt_pages_mapped_peak, 4);
+        assert_eq!(m.virt_pages_consumed(), 4);
+    }
+
+    #[test]
+    fn trap_on_protected_page_counts_in_stats() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.mprotect(a, 1, Protection::None).unwrap();
+        let _ = m.load_u64(a);
+        let _ = m.store_u64(a, 1);
+        assert_eq!(m.stats().traps, 2);
+    }
+}

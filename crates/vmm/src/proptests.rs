@@ -1,0 +1,154 @@
+//! Property tests for the machine's core invariants: aliasing coherence,
+//! protection monotonicity, frame refcounting, and VA non-reuse.
+
+#![cfg(test)]
+
+use crate::machine::{Machine, Protection};
+use crate::VirtAddr;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Mmap { pages: usize },
+    Alias { of: usize },
+    Protect { of: usize, prot: u8 },
+    Unmap { of: usize },
+    Store { of: usize, offset: usize, value: u64 },
+    Load { of: usize, offset: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (1usize..4).prop_map(|pages| Op::Mmap { pages }),
+        2 => any::<usize>().prop_map(|of| Op::Alias { of }),
+        2 => (any::<usize>(), 0u8..3).prop_map(|(of, prot)| Op::Protect { of, prot }),
+        1 => any::<usize>().prop_map(|of| Op::Unmap { of }),
+        3 => (any::<usize>(), 0usize..4000, any::<u64>())
+            .prop_map(|(of, offset, value)| Op::Store { of, offset, value }),
+        3 => (any::<usize>(), 0usize..4000).prop_map(|(of, offset)| Op::Load { of, offset }),
+    ]
+}
+
+/// Host-side model of one mapped page-run.
+#[derive(Clone, Debug)]
+struct Region {
+    base: VirtAddr,
+    pages: usize,
+    prot: Protection,
+    /// Regions sharing frames with this one (indices into the region vec),
+    /// including itself.
+    alias_group: usize,
+    live: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model-based test: the machine agrees with a simple host-side model
+    /// of mappings, aliasing and protection under arbitrary syscall and
+    /// access sequences.
+    #[test]
+    fn machine_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut m = Machine::free_running();
+        let mut regions: Vec<Region> = Vec::new();
+        // Model of memory contents per alias group: group -> bytes.
+        let mut group_data: Vec<Vec<u8>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Mmap { pages } => {
+                    let base = m.mmap(pages).unwrap();
+                    // Fresh VA: must not overlap any previous region.
+                    for r in &regions {
+                        let disjoint = base.raw() >= r.base.raw() + (r.pages * 4096) as u64
+                            || r.base.raw() >= base.raw() + (pages * 4096) as u64;
+                        prop_assert!(disjoint, "mmap must never reuse VA");
+                    }
+                    let group = group_data.len();
+                    group_data.push(vec![0u8; pages * 4096]);
+                    regions.push(Region {
+                        base,
+                        pages,
+                        prot: Protection::ReadWrite,
+                        alias_group: group,
+                        live: true,
+                    });
+                }
+                Op::Alias { of } => {
+                    if regions.is_empty() { continue; }
+                    let i = of % regions.len();
+                    if !regions[i].live { continue; }
+                    let (src, pages, group) =
+                        (regions[i].base, regions[i].pages, regions[i].alias_group);
+                    let alias = m.mremap_alias(src, pages).unwrap();
+                    regions.push(Region {
+                        base: alias,
+                        pages,
+                        prot: Protection::ReadWrite,
+                        alias_group: group,
+                        live: true,
+                    });
+                }
+                Op::Protect { of, prot } => {
+                    if regions.is_empty() { continue; }
+                    let i = of % regions.len();
+                    if !regions[i].live { continue; }
+                    let p = match prot {
+                        0 => Protection::None,
+                        1 => Protection::Read,
+                        _ => Protection::ReadWrite,
+                    };
+                    m.mprotect(regions[i].base, regions[i].pages, p).unwrap();
+                    regions[i].prot = p;
+                }
+                Op::Unmap { of } => {
+                    if regions.is_empty() { continue; }
+                    let i = of % regions.len();
+                    if !regions[i].live { continue; }
+                    m.munmap(regions[i].base, regions[i].pages).unwrap();
+                    regions[i].live = false;
+                }
+                Op::Store { of, offset, value } => {
+                    if regions.is_empty() { continue; }
+                    let i = of % regions.len();
+                    let r = regions[i].clone();
+                    let offset = offset % (r.pages * 4096 - 7);
+                    let res = m.store_u64(r.base.add(offset as u64), value);
+                    if r.live && r.prot == Protection::ReadWrite {
+                        prop_assert!(res.is_ok());
+                        group_data[r.alias_group][offset..offset + 8]
+                            .copy_from_slice(&value.to_le_bytes());
+                    } else {
+                        prop_assert!(res.is_err(), "store must fail on {:?}", r.prot);
+                    }
+                }
+                Op::Load { of, offset } => {
+                    if regions.is_empty() { continue; }
+                    let i = of % regions.len();
+                    let r = regions[i].clone();
+                    let offset = offset % (r.pages * 4096 - 7);
+                    let res = m.load_u64(r.base.add(offset as u64));
+                    if r.live && r.prot != Protection::None {
+                        let expect = u64::from_le_bytes(
+                            group_data[r.alias_group][offset..offset + 8].try_into().unwrap(),
+                        );
+                        prop_assert_eq!(res.unwrap(), expect, "aliases must stay coherent");
+                    } else {
+                        prop_assert!(res.is_err(), "load must fail on {:?}", r.prot);
+                    }
+                }
+            }
+        }
+        // Frame accounting: number of frames in use equals the number of
+        // alias groups with at least one live region (frames are per page,
+        // so weight by pages).
+        let mut live_group_pages = std::collections::HashMap::new();
+        for r in &regions {
+            if r.live {
+                live_group_pages.insert(r.alias_group, r.pages as u64);
+            }
+        }
+        let expected: u64 = live_group_pages.values().sum();
+        prop_assert_eq!(m.stats().phys_frames_in_use, expected, "frame refcounting");
+    }
+}

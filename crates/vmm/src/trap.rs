@@ -1,0 +1,117 @@
+//! Hardware traps raised by the simulated MMU.
+//!
+//! In the real system of the paper a dangling access raises SIGSEGV, which
+//! the run-time system catches and reports. In the simulator the same event
+//! surfaces as a [`Trap`] value returned from the access, which the detector
+//! layer (`dangle-core`) decorates with allocation/free provenance.
+
+use crate::addr::VirtAddr;
+use crate::machine::{AccessKind, Protection};
+use std::error::Error;
+use std::fmt;
+
+/// A fault detected by the simulated MMU or memory-management syscalls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Access to a virtual page with no mapping at all (e.g. a wild pointer
+    /// or an unmapped recycled page).
+    Unmapped {
+        /// Faulting address.
+        addr: VirtAddr,
+        /// Whether the faulting access was a read or a write.
+        access: AccessKind,
+    },
+    /// Access violating the protection bits of a mapped page. This is the
+    /// trap a dangling pointer use produces after `mprotect(PROT_NONE)`.
+    Protection {
+        /// Faulting address.
+        addr: VirtAddr,
+        /// Protection currently set on the page.
+        prot: Protection,
+        /// Whether the faulting access was a read or a write.
+        access: AccessKind,
+    },
+    /// The machine ran out of simulated physical frames.
+    OutOfPhysicalMemory,
+    /// The machine exhausted its simulated virtual address space. With the
+    /// paper's §3.4 budget (2^47 bytes of user VA) this takes hours even for
+    /// adversarial programs, but the simulator can be configured with a tiny
+    /// budget to test exhaustion handling.
+    OutOfVirtualMemory,
+    /// An mmap/mprotect/munmap argument referred to an invalid range.
+    BadSyscallArgument {
+        /// Address passed to the syscall.
+        addr: VirtAddr,
+    },
+}
+
+impl Trap {
+    /// The faulting address, when the trap has one.
+    pub fn addr(&self) -> Option<VirtAddr> {
+        match *self {
+            Trap::Unmapped { addr, .. }
+            | Trap::Protection { addr, .. }
+            | Trap::BadSyscallArgument { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the traps that an access to revoked (freed) memory
+    /// produces — the signal the dangling-pointer detector listens for.
+    pub fn is_access_violation(&self) -> bool {
+        matches!(self, Trap::Unmapped { .. } | Trap::Protection { .. })
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Trap::Unmapped { addr, access } => {
+                write!(f, "{access} of unmapped address {addr}")
+            }
+            Trap::Protection { addr, prot, access } => {
+                write!(f, "{access} of {addr} violates page protection {prot:?}")
+            }
+            Trap::OutOfPhysicalMemory => write!(f, "out of physical memory"),
+            Trap::OutOfVirtualMemory => write!(f, "out of virtual address space"),
+            Trap::BadSyscallArgument { addr } => {
+                write!(f, "invalid syscall argument {addr}")
+            }
+        }
+    }
+}
+
+impl Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_address() {
+        let t = Trap::Protection {
+            addr: VirtAddr(0x4000),
+            prot: Protection::None,
+            access: AccessKind::Read,
+        };
+        let s = t.to_string();
+        assert!(s.contains("0x4000"), "{s}");
+        assert!(s.contains("read"), "{s}");
+    }
+
+    #[test]
+    fn access_violation_classification() {
+        assert!(Trap::Unmapped { addr: VirtAddr(1), access: AccessKind::Write }
+            .is_access_violation());
+        assert!(!Trap::OutOfPhysicalMemory.is_access_violation());
+    }
+
+    #[test]
+    fn addr_extraction() {
+        assert_eq!(
+            Trap::BadSyscallArgument { addr: VirtAddr(0x123) }.addr(),
+            Some(VirtAddr(0x123))
+        );
+        assert_eq!(Trap::OutOfVirtualMemory.addr(), None);
+    }
+}

@@ -1,0 +1,336 @@
+//! Olden graph kernels: `em3d`, `mst`.
+//!
+//! * **em3d** — electromagnetic wave propagation on a random bipartite
+//!   graph: E-nodes update from H-nodes and vice versa for many
+//!   iterations. Allocation happens once up front; the iteration phase is
+//!   pure pointer-chasing — one of the Olden programs the paper's scheme
+//!   handles with modest overhead.
+//! * **mst** — Prim's minimum spanning tree over vertices whose adjacency
+//!   structures are heap-allocated entry by entry (the Olden version uses
+//!   per-vertex hash tables). Allocation-intensive relative to its
+//!   compute — a high-overhead program in Table 3.
+
+use crate::{mix, Ctx, Prng, WResult, Workload};
+use dangle_interp::backend::Backend;
+use dangle_vmm::{Machine, VirtAddr};
+
+// ---------------------------------------------------------------------
+// em3d
+// ---------------------------------------------------------------------
+
+/// The `em3d` kernel. Node layout: `[value, from0, from1, ..., from(D-1)]`
+/// with fixed in-degree `D = 4`.
+#[derive(Clone, Copy, Debug)]
+pub struct Em3d {
+    /// Nodes per side of the bipartite graph.
+    pub nodes: usize,
+    /// Update iterations.
+    pub iterations: u32,
+}
+
+impl Default for Em3d {
+    fn default() -> Em3d {
+        Em3d { nodes: 24, iterations: 700 }
+    }
+}
+
+const EM_DEG: usize = 4;
+const EM_VALUE: usize = 0;
+const EM_FROM: usize = 1; // fields 1..=4
+
+impl Em3d {
+    fn build_side(
+        ctx: &mut Ctx,
+        n: usize,
+        pool: Option<u32>,
+        rng: &mut Prng,
+    ) -> WResult<Vec<VirtAddr>> {
+        let mut side = Vec::with_capacity(n);
+        for _ in 0..n {
+            let node = ctx.alloc(1 + EM_DEG, pool)?;
+            ctx.put(node, EM_VALUE, rng.below(1 << 20))?;
+            side.push(node);
+        }
+        Ok(side)
+    }
+
+    fn wire(ctx: &mut Ctx, to: &[VirtAddr], from: &[VirtAddr], rng: &mut Prng) -> WResult<()> {
+        for &node in to {
+            for d in 0..EM_DEG {
+                let src = from[rng.below(from.len() as u64) as usize];
+                ctx.put(node, EM_FROM + d, src.raw())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn update(ctx: &mut Ctx, side: &[VirtAddr]) -> WResult<()> {
+        for &node in side {
+            let mut sum = 0u64;
+            for d in 0..EM_DEG {
+                let src = VirtAddr(ctx.get(node, EM_FROM + d)?);
+                sum = sum.wrapping_add(ctx.get(src, EM_VALUE)?);
+            }
+            let v = ctx.get(node, EM_VALUE)?;
+            ctx.put(node, EM_VALUE, v.wrapping_sub(sum >> 3) & ((1 << 40) - 1))?;
+            ctx.compute(30); // the field update arithmetic
+        }
+        Ok(())
+    }
+}
+
+impl Workload for Em3d {
+    fn name(&self) -> &'static str {
+        "em3d"
+    }
+
+    fn run(&self, machine: &mut Machine, backend: &mut dyn Backend) -> WResult<u64> {
+        let mut ctx = Ctx::new(machine, backend);
+        let pool = ctx.pool_create(1 + EM_DEG)?;
+        let mut rng = Prng::new(0xe3d);
+        let e_side = Self::build_side(&mut ctx, self.nodes, Some(pool), &mut rng)?;
+        let h_side = Self::build_side(&mut ctx, self.nodes, Some(pool), &mut rng)?;
+        Self::wire(&mut ctx, &e_side, &h_side, &mut rng)?;
+        Self::wire(&mut ctx, &h_side, &e_side, &mut rng)?;
+        for _ in 0..self.iterations {
+            Self::update(&mut ctx, &e_side)?;
+            Self::update(&mut ctx, &h_side)?;
+        }
+        let mut acc = 0u64;
+        for &n in e_side.iter().chain(&h_side) {
+            acc = mix(acc, ctx.get(n, EM_VALUE)?);
+        }
+        ctx.pool_destroy(pool)?;
+        Ok(acc)
+    }
+}
+
+// ---------------------------------------------------------------------
+// mst
+// ---------------------------------------------------------------------
+
+/// The `mst` kernel. Vertex layout: `[adj_head, key, in_mst, id]`;
+/// adjacency entry layout: `[next, neighbor_index, weight]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Mst {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edges allocated per vertex.
+    pub degree: usize,
+}
+
+impl Default for Mst {
+    fn default() -> Mst {
+        Mst { vertices: 512, degree: 4 }
+    }
+}
+
+const V_ADJ: usize = 0;
+const V_KEY: usize = 1;
+const V_IN: usize = 2;
+const V_ID: usize = 3;
+
+const E_NEXT: usize = 0;
+const E_NBR: usize = 1;
+const E_W: usize = 2;
+
+/// Deterministic symmetric edge weight between vertex ids `a` and `b`.
+fn weight(a: u64, b: u64) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    (lo.wrapping_mul(2654435761).wrapping_add(hi.wrapping_mul(40503))) % 10_000 + 1
+}
+
+impl Mst {
+    fn build(
+        ctx: &mut Ctx,
+        n: usize,
+        degree: usize,
+        vpool: Option<u32>,
+        epool: Option<u32>,
+        varr: VirtAddr,
+        rng: &mut Prng,
+    ) -> WResult<()> {
+        let mut verts = Vec::with_capacity(n);
+        for id in 0..n {
+            let v = ctx.alloc(4, vpool)?;
+            ctx.put(v, V_ADJ, 0)?;
+            ctx.put(v, V_KEY, u64::MAX)?;
+            ctx.put(v, V_IN, 0)?;
+            ctx.put(v, V_ID, id as u64)?;
+            ctx.put(varr, id, v.raw())?;
+            verts.push(v);
+        }
+        // Ring edges ensure connectivity; extra random edges add density.
+        for (id, &v) in verts.iter().enumerate() {
+            let add_edge = |ctx: &mut Ctx, nbr: u64| -> WResult<()> {
+                let e = ctx.alloc(3, epool)?;
+                let head = ctx.get(v, V_ADJ)?;
+                ctx.put(e, E_NEXT, head)?;
+                ctx.put(e, E_NBR, nbr)?;
+                ctx.put(e, E_W, weight(id as u64, nbr))?;
+                ctx.put(v, V_ADJ, e.raw())
+            };
+            add_edge(ctx, ((id + 1) % n) as u64)?;
+            add_edge(ctx, ((id + n - 1) % n) as u64)?;
+            for _ in 2..degree {
+                let nbr = rng.below(n as u64);
+                if nbr as usize != id {
+                    add_edge(ctx, nbr)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Prim's algorithm over the vertex array; returns total MST weight.
+    fn prim(ctx: &mut Ctx, varr: VirtAddr, n: usize) -> WResult<u64> {
+        // Start from vertex 0.
+        let v0 = VirtAddr(ctx.get(varr, 0)?);
+        ctx.put(v0, V_KEY, 0)?;
+        let mut total = 0u64;
+        for _ in 0..n {
+            // Select the unchosen vertex with minimum key (linear scan, as
+            // in the original "blue rule" loop).
+            let mut best = VirtAddr::NULL;
+            let mut best_key = u64::MAX;
+            for i in 0..n {
+                let v = VirtAddr(ctx.get(varr, i)?);
+                if ctx.get(v, V_IN)? == 0 {
+                    let k = ctx.get(v, V_KEY)?;
+                    if k < best_key {
+                        best_key = k;
+                        best = v;
+                    }
+                }
+                ctx.compute(1);
+            }
+            if best.is_null() {
+                break;
+            }
+            ctx.put(best, V_IN, 1)?;
+            total = total.wrapping_add(best_key);
+            // Relax the chosen vertex's adjacency list.
+            let mut e = VirtAddr(ctx.get(best, V_ADJ)?);
+            while !e.is_null() {
+                let nbr_idx = ctx.get(e, E_NBR)? as usize;
+                let w = ctx.get(e, E_W)?;
+                let nbr = VirtAddr(ctx.get(varr, nbr_idx)?);
+                if ctx.get(nbr, V_IN)? == 0 && w < ctx.get(nbr, V_KEY)? {
+                    ctx.put(nbr, V_KEY, w)?;
+                }
+                e = VirtAddr(ctx.get(e, E_NEXT)?);
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl Workload for Mst {
+    fn name(&self) -> &'static str {
+        "mst"
+    }
+
+    fn run(&self, machine: &mut Machine, backend: &mut dyn Backend) -> WResult<u64> {
+        let mut ctx = Ctx::new(machine, backend);
+        let vpool = ctx.pool_create(4)?;
+        let epool = ctx.pool_create(3)?;
+        let apool = ctx.pool_create(self.vertices)?;
+        let varr = ctx.alloc(self.vertices, Some(apool))?;
+        let mut rng = Prng::new(0x357);
+        Self::build(
+            &mut ctx,
+            self.vertices,
+            self.degree,
+            Some(vpool),
+            Some(epool),
+            varr,
+            &mut rng,
+        )?;
+        let total = Self::prim(&mut ctx, varr, self.vertices)?;
+        ctx.pool_destroy(apool)?;
+        ctx.pool_destroy(epool)?;
+        ctx.pool_destroy(vpool)?;
+        Ok(mix(total, self.vertices as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangle_interp::backend::{NativeBackend, ShadowPoolBackend};
+
+    fn agree(w: &dyn Workload) {
+        let mut m1 = Machine::free_running();
+        let mut b1 = NativeBackend::new();
+        let c1 = w.run(&mut m1, &mut b1).unwrap();
+        let mut m2 = Machine::free_running();
+        let mut b2 = ShadowPoolBackend::new();
+        let c2 = w.run(&mut m2, &mut b2).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn em3d_backend_independent() {
+        agree(&Em3d { nodes: 40, iterations: 5 });
+    }
+
+    #[test]
+    fn em3d_values_evolve() {
+        // Different iteration counts must give different checksums
+        // (the update loop does real work).
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let c5 = Em3d { nodes: 40, iterations: 5 }.run(&mut m, &mut b).unwrap();
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let c6 = Em3d { nodes: 40, iterations: 6 }.run(&mut m, &mut b).unwrap();
+        assert_ne!(c5, c6);
+    }
+
+    #[test]
+    fn mst_backend_independent() {
+        agree(&Mst { vertices: 40, degree: 4 });
+    }
+
+    #[test]
+    fn mst_weight_bounded_by_ring() {
+        // The MST can never cost more than the n-1 cheapest ring edges'
+        // total, and must be positive.
+        let n = 32;
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let mut ctx = Ctx::new(&mut m, &mut b);
+        let varr = ctx.alloc(n, None).unwrap();
+        let mut rng = Prng::new(0x357);
+        Mst::build(&mut ctx, n, 4, None, None, varr, &mut rng).unwrap();
+        let total = Mst::prim(&mut ctx, varr, n).unwrap();
+        let ring_total: u64 = (0..n).map(|i| weight(i as u64, ((i + 1) % n) as u64)).sum();
+        assert!(total > 0 && total <= ring_total, "{total} vs ring {ring_total}");
+    }
+
+    #[test]
+    fn mst_spans_all_vertices() {
+        let n = 24;
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let mut ctx = Ctx::new(&mut m, &mut b);
+        let varr = ctx.alloc(n, None).unwrap();
+        let mut rng = Prng::new(1);
+        Mst::build(&mut ctx, n, 4, None, None, varr, &mut rng).unwrap();
+        Mst::prim(&mut ctx, varr, n).unwrap();
+        for i in 0..n {
+            let v = VirtAddr(ctx.get(varr, i).unwrap());
+            assert_eq!(ctx.get(v, V_IN).unwrap(), 1, "vertex {i} not in MST");
+        }
+    }
+
+    #[test]
+    fn weight_is_symmetric_and_positive() {
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                assert_eq!(weight(a, b), weight(b, a));
+                assert!(weight(a, b) >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Olden simulation kernels: `health`, `bh`.
+//!
+//! * **health** — the Colombian health-care simulation: a 4-ary hierarchy
+//!   of villages generates patients every timestep; patients queue, get
+//!   assessed, are treated locally or referred up the hierarchy, and are
+//!   freed on discharge. Constant allocation/deallocation churn makes this
+//!   the paper's worst case (11.24× in Table 3).
+//! * **bh** — Barnes–Hut N-body: every timestep builds a fresh quadtree
+//!   (its own pool, destroyed at the end of the step — exactly the
+//!   APA-local structure Insight 2 exploits), aggregates mass, and
+//!   computes approximate forces.
+
+use crate::{mix, Ctx, Prng, WResult, Workload};
+use dangle_interp::backend::Backend;
+use dangle_vmm::{Machine, VirtAddr};
+
+// ---------------------------------------------------------------------
+// health
+// ---------------------------------------------------------------------
+
+/// The `health` kernel.
+///
+/// Village layout: `[child0..3, parent, waiting_head, inside_head, seed]`
+/// (8 fields). Patient layout: `[next, remaining_time, hops]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Health {
+    /// Hierarchy depth (4-ary: depth 3 = 21 villages, 4 = 85).
+    pub levels: u32,
+    /// Simulated timesteps.
+    pub steps: u32,
+}
+
+impl Default for Health {
+    fn default() -> Health {
+        Health { levels: 4, steps: 80 }
+    }
+}
+
+const VG_CHILD: [usize; 4] = [0, 1, 2, 3];
+const VG_PARENT: usize = 4;
+const VG_WAIT: usize = 5;
+const VG_INSIDE: usize = 6;
+const VG_SEED: usize = 7;
+
+const PT_NEXT: usize = 0;
+const PT_TIME: usize = 1;
+const PT_HOPS: usize = 2;
+
+/// Statistics the simulation reports (host-side accumulation, as the C
+/// version does through its `results` struct).
+#[derive(Clone, Copy, Debug, Default)]
+struct Tally {
+    treated: u64,
+    hops: u64,
+}
+
+impl Health {
+    fn build(
+        ctx: &mut Ctx,
+        level: u32,
+        parent: VirtAddr,
+        pool: Option<u32>,
+        seed: &mut u64,
+        out: &mut Vec<VirtAddr>,
+    ) -> WResult<VirtAddr> {
+        let v = ctx.alloc(8, pool)?;
+        ctx.put(v, VG_PARENT, parent.raw())?;
+        ctx.put(v, VG_WAIT, 0)?;
+        ctx.put(v, VG_INSIDE, 0)?;
+        ctx.put(v, VG_SEED, *seed)?;
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for c in VG_CHILD {
+            let child = if level > 1 {
+                Self::build(ctx, level - 1, v, pool, seed, out)?
+            } else {
+                VirtAddr::NULL
+            };
+            ctx.put(v, c, child.raw())?;
+        }
+        out.push(v);
+        Ok(v)
+    }
+
+    /// Pops the head of the list at `(owner, field)`.
+    fn pop(ctx: &mut Ctx, owner: VirtAddr, field: usize) -> WResult<Option<VirtAddr>> {
+        let head = VirtAddr(ctx.get(owner, field)?);
+        if head.is_null() {
+            return Ok(None);
+        }
+        let next = ctx.get(head, PT_NEXT)?;
+        ctx.put(owner, field, next)?;
+        Ok(Some(head))
+    }
+
+    /// Pushes `p` at the head of the list at `(owner, field)`.
+    fn push(ctx: &mut Ctx, owner: VirtAddr, field: usize, p: VirtAddr) -> WResult<()> {
+        let head = ctx.get(owner, field)?;
+        ctx.put(p, PT_NEXT, head)?;
+        ctx.put(owner, field, p.raw())
+    }
+
+    /// One timestep over one village (children were already stepped).
+    fn step_village(
+        ctx: &mut Ctx,
+        v: VirtAddr,
+        is_leaf: bool,
+        patient_pool: Option<u32>,
+        tally: &mut Tally,
+    ) -> WResult<()> {
+        // 1. Leaf villages generate patients stochastically.
+        if is_leaf {
+            let seed = ctx.get(v, VG_SEED)?;
+            let next_seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ctx.put(v, VG_SEED, next_seed)?;
+            if seed % 3 == 0 {
+                let p = ctx.alloc(3, patient_pool)?;
+                ctx.put(p, PT_TIME, 2 + seed % 4)?;
+                ctx.put(p, PT_HOPS, 0)?;
+                Self::push(ctx, v, VG_WAIT, p)?;
+            }
+        }
+        // 2. Admit one waiting patient into treatment.
+        if let Some(p) = Self::pop(ctx, v, VG_WAIT)? {
+            Self::push(ctx, v, VG_INSIDE, p)?;
+        }
+        // 3. Treat everyone inside; discharge or refer upward.
+        let mut done_or_referred = Vec::new();
+        let mut prev = VirtAddr::NULL;
+        let mut cur = VirtAddr(ctx.get(v, VG_INSIDE)?);
+        while !cur.is_null() {
+            let t = ctx.get(cur, PT_TIME)?;
+            let next = VirtAddr(ctx.get(cur, PT_NEXT)?);
+            if t <= 1 {
+                // Unlink.
+                if prev.is_null() {
+                    ctx.put(v, VG_INSIDE, next.raw())?;
+                } else {
+                    ctx.put(prev, PT_NEXT, next.raw())?;
+                }
+                done_or_referred.push(cur);
+            } else {
+                ctx.put(cur, PT_TIME, t - 1)?;
+                prev = cur;
+            }
+            cur = next;
+            ctx.compute(72); // the per-patient assessment arithmetic
+        }
+        let parent = VirtAddr(ctx.get(v, VG_PARENT)?);
+        for p in done_or_referred {
+            let hops = ctx.get(p, PT_HOPS)?;
+            // A third of cases need the next hospital level up (if any).
+            let refer = (hops + ctx.get(p, PT_TIME)?) % 3 == 0 && !parent.is_null();
+            if refer {
+                ctx.put(p, PT_HOPS, hops + 1)?;
+                ctx.put(p, PT_TIME, 2 + hops)?;
+                Self::push(ctx, parent, VG_WAIT, p)?;
+            } else {
+                tally.treated += 1;
+                tally.hops += hops;
+                ctx.free(p, patient_pool)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Workload for Health {
+    fn name(&self) -> &'static str {
+        "health"
+    }
+
+    fn run(&self, machine: &mut Machine, backend: &mut dyn Backend) -> WResult<u64> {
+        let mut ctx = Ctx::new(machine, backend);
+        let village_pool = ctx.pool_create(8)?;
+        let patient_pool = ctx.pool_create(3)?;
+        let mut seed = 0x4ea174;
+        // Villages collected leaves-first, so stepping in order moves
+        // referred patients upward within the same timestep cadence.
+        let mut villages = Vec::new();
+        let root =
+            Self::build(&mut ctx, self.levels, VirtAddr::NULL, Some(village_pool), &mut seed, &mut villages)?;
+        let mut tally = Tally::default();
+        for _ in 0..self.steps {
+            for &v in &villages {
+                let is_leaf = VirtAddr(ctx.get(v, VG_CHILD[0])?).is_null();
+                Self::step_village(&mut ctx, v, is_leaf, Some(patient_pool), &mut tally)?;
+            }
+        }
+        let _ = root;
+        ctx.pool_destroy(patient_pool)?;
+        ctx.pool_destroy(village_pool)?;
+        Ok(mix(mix(0, tally.treated), tally.hops))
+    }
+}
+
+// ---------------------------------------------------------------------
+// bh (Barnes-Hut)
+// ---------------------------------------------------------------------
+
+/// The `bh` kernel (2-D Barnes–Hut).
+///
+/// Body layout: `[x, y, vx, vy, mass]` (fixed-point). Tree cell layout:
+/// `[mass, cx, cy, child0..3, body]` (8 fields); a cell either holds one
+/// body (`body != 0`, no children) or four child quadrants.
+#[derive(Clone, Copy, Debug)]
+pub struct Bh {
+    /// Number of bodies.
+    pub bodies: usize,
+    /// Timesteps (a fresh tree per step).
+    pub steps: u32,
+}
+
+impl Default for Bh {
+    fn default() -> Bh {
+        Bh { bodies: 192, steps: 4 }
+    }
+}
+
+const B_X: usize = 0;
+const B_Y: usize = 1;
+const B_VX: usize = 2;
+const B_VY: usize = 3;
+const B_MASS: usize = 4;
+
+const C_MASS: usize = 0;
+const C_CX: usize = 1;
+const C_CY: usize = 2;
+const C_CHILD: [usize; 4] = [3, 4, 5, 6];
+const C_BODY: usize = 7;
+
+/// Universe is `[0, SIZE)` in both axes (fixed point, integer units).
+const SIZE: i64 = 1 << 16;
+
+impl Bh {
+    fn make_bodies(ctx: &mut Ctx, n: usize, pool: Option<u32>, rng: &mut Prng) -> WResult<Vec<VirtAddr>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = ctx.alloc(5, pool)?;
+            ctx.put(b, B_X, rng.below(SIZE as u64))?;
+            ctx.put(b, B_Y, rng.below(SIZE as u64))?;
+            ctx.put(b, B_VX, 0)?;
+            ctx.put(b, B_VY, 0)?;
+            ctx.put(b, B_MASS, 1 + rng.below(9))?;
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    fn quadrant(x: i64, y: i64, cx: i64, cy: i64) -> usize {
+        (usize::from(x >= cx)) | (usize::from(y >= cy) << 1)
+    }
+
+    /// Inserts `body` into the tree rooted at `cell` covering the square
+    /// at (ox, oy) with side `size`.
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        ctx: &mut Ctx,
+        cell: VirtAddr,
+        body: VirtAddr,
+        ox: i64,
+        oy: i64,
+        size: i64,
+        pool: Option<u32>,
+        depth: u32,
+    ) -> WResult<()> {
+        let existing = VirtAddr(ctx.get(cell, C_BODY)?);
+        let has_children = !VirtAddr(ctx.get(cell, C_CHILD[0])?).is_null()
+            || !VirtAddr(ctx.get(cell, C_CHILD[1])?).is_null()
+            || !VirtAddr(ctx.get(cell, C_CHILD[2])?).is_null()
+            || !VirtAddr(ctx.get(cell, C_CHILD[3])?).is_null();
+
+        if !has_children && existing.is_null() {
+            ctx.put(cell, C_BODY, body.raw())?;
+            return Ok(());
+        }
+        // Convert a single-body leaf into an internal cell first.
+        if !existing.is_null() && depth < 24 {
+            ctx.put(cell, C_BODY, 0)?;
+            Self::insert(ctx, cell, existing, ox, oy, size, pool, depth)?;
+        }
+        let h = size / 2;
+        let bx = ctx.get(body, B_X)? as i64;
+        let by = ctx.get(body, B_Y)? as i64;
+        let q = Self::quadrant(bx, by, ox + h, oy + h);
+        let (qx, qy) = (ox + h * ((q & 1) as i64), oy + h * ((q >> 1) as i64));
+        let child = VirtAddr(ctx.get(cell, C_CHILD[q])?);
+        let child = if child.is_null() {
+            let c = ctx.alloc(8, pool)?;
+            for f in 0..8 {
+                ctx.put(c, f, 0)?;
+            }
+            ctx.put(cell, C_CHILD[q], c.raw())?;
+            c
+        } else {
+            child
+        };
+        if depth >= 24 {
+            // Degenerate coincident points: pile onto the child's body slot
+            // chain is not modelled; just merge mass into the cell.
+            let m = ctx.get(child, C_MASS)?;
+            let bm = ctx.get(body, B_MASS)?;
+            ctx.put(child, C_MASS, m + bm)?;
+            return Ok(());
+        }
+        Self::insert(ctx, child, body, qx, qy, h, pool, depth + 1)
+    }
+
+    /// Computes total mass and center of mass bottom-up.
+    fn summarize(ctx: &mut Ctx, cell: VirtAddr) -> WResult<(u64, i64, i64)> {
+        let body = VirtAddr(ctx.get(cell, C_BODY)?);
+        if !body.is_null() {
+            let m = ctx.get(body, B_MASS)?;
+            let x = ctx.get(body, B_X)? as i64;
+            let y = ctx.get(body, B_Y)? as i64;
+            ctx.put(cell, C_MASS, m)?;
+            ctx.put(cell, C_CX, x as u64)?;
+            ctx.put(cell, C_CY, y as u64)?;
+            return Ok((m, x, y));
+        }
+        let mut m_total = ctx.get(cell, C_MASS)?; // pre-merged coincident mass
+        let mut mx = 0i64;
+        let mut my = 0i64;
+        for ci in C_CHILD {
+            let child = VirtAddr(ctx.get(cell, ci)?);
+            if child.is_null() {
+                continue;
+            }
+            let (m, x, y) = Self::summarize(ctx, child)?;
+            m_total += m;
+            mx += x * m as i64;
+            my += y * m as i64;
+        }
+        let (cx, cy) = if m_total > 0 {
+            (mx / m_total as i64, my / m_total as i64)
+        } else {
+            (0, 0)
+        };
+        ctx.put(cell, C_MASS, m_total)?;
+        ctx.put(cell, C_CX, cx as u64)?;
+        ctx.put(cell, C_CY, cy as u64)?;
+        Ok((m_total, cx, cy))
+    }
+
+    /// Approximate force on `body` from the subtree at `cell` covering a
+    /// square of side `size` (Barnes–Hut opening criterion).
+    fn force(
+        ctx: &mut Ctx,
+        cell: VirtAddr,
+        body: VirtAddr,
+        size: i64,
+    ) -> WResult<(i64, i64)> {
+        let m = ctx.get(cell, C_MASS)? as i64;
+        if m == 0 {
+            return Ok((0, 0));
+        }
+        let bx = ctx.get(body, B_X)? as i64;
+        let by = ctx.get(body, B_Y)? as i64;
+        let cx = ctx.get(cell, C_CX)? as i64;
+        let cy = ctx.get(cell, C_CY)? as i64;
+        let dx = cx - bx;
+        let dy = cy - by;
+        let d2 = (dx * dx + dy * dy).max(1);
+        let leaf = !VirtAddr(ctx.get(cell, C_BODY)?).is_null();
+        // Opening criterion: size^2 / d^2 < theta^2 (theta = 1/2).
+        if leaf || size * size * 4 < d2 {
+            if d2 < 4 {
+                return Ok((0, 0)); // self-interaction guard
+            }
+            let f = ((m << 28) / d2).min(1 << 16);
+            ctx.compute(32); // the gravity kernel arithmetic
+            return Ok((f * dx.signum(), f * dy.signum()));
+        }
+        let mut fx = 0i64;
+        let mut fy = 0i64;
+        for ci in C_CHILD {
+            let child = VirtAddr(ctx.get(cell, ci)?);
+            if child.is_null() {
+                continue;
+            }
+            let (x, y) = Self::force(ctx, child, body, size / 2)?;
+            fx += x;
+            fy += y;
+        }
+        Ok((fx, fy))
+    }
+}
+
+impl Workload for Bh {
+    fn name(&self) -> &'static str {
+        "bh"
+    }
+
+    fn run(&self, machine: &mut Machine, backend: &mut dyn Backend) -> WResult<u64> {
+        let mut ctx = Ctx::new(machine, backend);
+        let body_pool = ctx.pool_create(5)?;
+        let mut rng = Prng::new(0xb4);
+        let bodies = Self::make_bodies(&mut ctx, self.bodies, Some(body_pool), &mut rng)?;
+        for _ in 0..self.steps {
+            // A fresh tree pool per step: the APA-local structure.
+            let tree_pool = ctx.pool_create(8)?;
+            let root = ctx.alloc(8, Some(tree_pool))?;
+            for f in 0..8 {
+                ctx.put(root, f, 0)?;
+            }
+            for &b in &bodies {
+                Self::insert(&mut ctx, root, b, 0, 0, SIZE, Some(tree_pool), 0)?;
+            }
+            Self::summarize(&mut ctx, root)?;
+            for &b in &bodies {
+                let (fx, fy) = Self::force(&mut ctx, root, b, SIZE)?;
+                let vx = (ctx.get(b, B_VX)? as i64 + (fx >> 4)).clamp(-(1 << 14), 1 << 14);
+                let vy = (ctx.get(b, B_VY)? as i64 + (fy >> 4)).clamp(-(1 << 14), 1 << 14);
+                ctx.put(b, B_VX, vx as u64)?;
+                ctx.put(b, B_VY, vy as u64)?;
+                let x = (ctx.get(b, B_X)? as i64 + (vx >> 4)).rem_euclid(SIZE);
+                let y = (ctx.get(b, B_Y)? as i64 + (vy >> 4)).rem_euclid(SIZE);
+                ctx.put(b, B_X, x as u64)?;
+                ctx.put(b, B_Y, y as u64)?;
+            }
+            ctx.pool_destroy(tree_pool)?;
+        }
+        let mut acc = 0u64;
+        for &b in &bodies {
+            acc = mix(acc, ctx.get(b, B_X)?);
+            acc = mix(acc, ctx.get(b, B_Y)?);
+        }
+        ctx.pool_destroy(body_pool)?;
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dangle_heap::Allocator as _;
+    use dangle_interp::backend::{NativeBackend, ShadowPoolBackend};
+
+    fn agree(w: &dyn Workload) -> u64 {
+        let mut m1 = Machine::free_running();
+        let mut b1 = NativeBackend::new();
+        let c1 = w.run(&mut m1, &mut b1).unwrap();
+        let mut m2 = Machine::free_running();
+        let mut b2 = ShadowPoolBackend::new();
+        let c2 = w.run(&mut m2, &mut b2).unwrap();
+        assert_eq!(c1, c2);
+        c1
+    }
+
+    #[test]
+    fn health_backend_independent() {
+        agree(&Health { levels: 3, steps: 10 });
+    }
+
+    #[test]
+    fn health_treats_patients() {
+        // Non-trivial tallies: checksum differs between step counts.
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let c1 = Health { levels: 3, steps: 10 }.run(&mut m, &mut b).unwrap();
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let c2 = Health { levels: 3, steps: 20 }.run(&mut m, &mut b).unwrap();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn health_is_alloc_free_churn() {
+        let w = Health { levels: 3, steps: 30 };
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        w.run(&mut m, &mut b).unwrap();
+        let s = b.heap().stats();
+        assert!(s.allocs > 50, "patients allocated: {}", s.allocs);
+        assert!(s.frees > 30, "patients freed: {}", s.frees);
+    }
+
+    #[test]
+    fn bh_backend_independent() {
+        agree(&Bh { bodies: 32, steps: 2 });
+    }
+
+    #[test]
+    fn bh_bodies_move() {
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let c1 = Bh { bodies: 32, steps: 1 }.run(&mut m, &mut b).unwrap();
+        let mut m = Machine::free_running();
+        let mut b = NativeBackend::new();
+        let c2 = Bh { bodies: 32, steps: 3 }.run(&mut m, &mut b).unwrap();
+        assert_ne!(c1, c2, "forces must change positions across steps");
+    }
+
+    #[test]
+    fn bh_tree_pool_recycles_va_per_step() {
+        // Under the full detector, per-step tree pools must recycle their
+        // virtual pages: VA consumption after many steps stays near the
+        // one-step level.
+        let w = Bh { bodies: 48, steps: 1 };
+        let mut m1 = Machine::free_running();
+        let mut b1 = ShadowPoolBackend::new();
+        w.run(&mut m1, &mut b1).unwrap();
+        let one_step = m1.virt_pages_consumed();
+
+        let w = Bh { bodies: 48, steps: 6 };
+        let mut m6 = Machine::free_running();
+        let mut b6 = ShadowPoolBackend::new();
+        w.run(&mut m6, &mut b6).unwrap();
+        assert!(
+            m6.virt_pages_consumed() < one_step * 2,
+            "6 steps must reuse the tree pool's pages: {} vs one step {}",
+            m6.virt_pages_consumed(),
+            one_step
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The paper's running example, end to end: parse the Figure 1 MiniC
+//! program, show the Automatic Pool Allocation transform producing the
+//! Figure 2 shape, and execute both versions under several schemes to
+//! demonstrate who catches the dangling `p->next->val` write.
+//!
+//! ```text
+//! cargo run --example figure1
+//! ```
+
+use dangle::apa::{parse, pool_allocate, to_source, FIGURE_1};
+use dangle::interp::backend::{NativeBackend, PoolBackend, ShadowBackend, ShadowPoolBackend};
+use dangle::interp::{is_detection, run, Backend};
+use dangle::vmm::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse(FIGURE_1)?;
+
+    println!("== Figure 1 (original program) ==\n{}", to_source(&program));
+
+    let (transformed, analysis) = pool_allocate(&program);
+    println!("== analysis ==");
+    println!(
+        "heap classes: {} (both malloc sites unify into the list class)",
+        analysis.classes.len()
+    );
+    for (f, owned) in &analysis.owns {
+        println!("pool owner: `{f}` owns classes {owned:?}");
+    }
+    for f in ["g", "create_10_node_list", "free_all_but_head"] {
+        println!("pool params of `{f}`: {:?}", analysis.pool_params_of(f));
+    }
+
+    println!("\n== Figure 2 (after Automatic Pool Allocation) ==\n{}", to_source(&transformed));
+
+    println!("== executions ==");
+    let fuel = 10_000_000;
+
+    let mut machine = Machine::new();
+    let mut native = NativeBackend::new();
+    match run(&program, &mut machine, &mut native, fuel) {
+        Ok(out) => println!(
+            "plain malloc      : ran to completion, printed {:?} — the dangling \
+             write silently corrupted recycled memory",
+            out.output
+        ),
+        Err(e) => println!("plain malloc      : unexpected error {e}"),
+    }
+
+    let mut machine = Machine::new();
+    let mut pa = PoolBackend::new();
+    match run(&transformed, &mut machine, &mut pa, fuel) {
+        Ok(out) => println!(
+            "pool alloc only   : ran to completion, printed {:?} — pools alone \
+             are not a detector",
+            out.output
+        ),
+        Err(e) => println!("pool alloc only   : unexpected error {e}"),
+    }
+
+    let mut machine = Machine::new();
+    let mut shadow = ShadowBackend::new();
+    match run(&program, &mut machine, &mut shadow, fuel) {
+        Err(e) if is_detection(&e) => {
+            println!("shadow pages      : DETECTED — {e}");
+        }
+        other => println!("shadow pages      : expected a detection, got {other:?}"),
+    }
+
+    let mut machine = Machine::new();
+    let mut ours = ShadowPoolBackend::new();
+    match run(&transformed, &mut machine, &mut ours, fuel) {
+        Err(e) if is_detection(&e) => {
+            println!("{:<18}: DETECTED — {e}", ours.name());
+            println!(
+                "                    ({} virtual pages consumed; pool pages were \
+                 recycled through the shared free list)",
+                machine.virt_pages_consumed()
+            );
+        }
+        other => println!("shadow + pools    : expected a detection, got {other:?}"),
+    }
+
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Run any Olden benchmark under any scheme and print its cost breakdown —
+//! a small CLI over the Table 3 machinery.
+//!
+//! ```text
+//! cargo run --release --example olden_run -- health ours
+//! cargo run --release --example olden_run -- treeadd efence
+//! cargo run --release --example olden_run            # runs everything
+//! ```
+
+use dangle::interp::backend::{
+    Backend, CapabilityBackend, EFenceBackend, MemcheckBackend, NativeBackend, PoolBackend,
+    ShadowBackend, ShadowPoolBackend,
+};
+use dangle::vmm::Machine;
+use dangle::workloads::{olden_suite, Workload};
+
+fn backend_by_name(name: &str) -> Option<Box<dyn Backend>> {
+    Some(match name {
+        "native" | "base" => Box::new(NativeBackend::new()),
+        "pa" => Box::new(PoolBackend::new()),
+        "pa-dummy" => Box::new(PoolBackend::with_dummy_syscalls()),
+        "ours" | "shadow-pool" => Box::new(ShadowPoolBackend::new()),
+        "shadow" => Box::new(ShadowBackend::new()),
+        "efence" => Box::new(EFenceBackend::new()),
+        "memcheck" | "valgrind" => Box::new(MemcheckBackend::new()),
+        "capability" | "safec" => Box::new(CapabilityBackend::new()),
+        _ => return None,
+    })
+}
+
+fn run_one(w: &dyn Workload, backend_name: &str) {
+    let mut machine = Machine::new();
+    let mut backend = backend_by_name(backend_name).expect("unknown backend");
+    let checksum = w.run(&mut machine, backend.as_mut()).expect("workload failed");
+    let s = machine.stats();
+    println!(
+        "{:<10} under {:<12} {:>12} cycles | {:>9} loads {:>9} stores | \
+         {:>6} mmap {:>6} mremap {:>6} mprotect | {:>7} VA pages | {:>6} peak frames | checksum {checksum:#x}",
+        w.name(),
+        backend_name,
+        machine.clock(),
+        s.loads,
+        s.stores,
+        s.mmap_calls,
+        s.mremap_calls,
+        s.mprotect_calls,
+        machine.virt_pages_consumed(),
+        s.phys_frames_peak,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let suite = olden_suite();
+    match args.as_slice() {
+        [bench, backend] => {
+            let w = suite
+                .iter()
+                .find(|w| w.name() == bench)
+                .unwrap_or_else(|| panic!("unknown benchmark `{bench}`"));
+            run_one(w.as_ref(), backend);
+        }
+        [bench] => {
+            let w = suite
+                .iter()
+                .find(|w| w.name() == bench)
+                .unwrap_or_else(|| panic!("unknown benchmark `{bench}`"));
+            for b in ["base", "pa-dummy", "ours"] {
+                run_one(w.as_ref(), b);
+            }
+        }
+        _ => {
+            for w in &suite {
+                for b in ["base", "ours"] {
+                    run_one(w.as_ref(), b);
+                }
+            }
+        }
+    }
+}

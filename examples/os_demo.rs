@@ -1,0 +1,65 @@
+//! Insight 1 on the real kernel (Linux only): canonical/shadow aliasing
+//! with `memfd` + `mmap`, `mprotect` on free, and a genuine SIGSEGV on the
+//! dangling use — observed from a forked child so this process survives.
+//!
+//! ```text
+//! cargo run --features os --example os_demo
+//! ```
+
+#[cfg(feature = "os")]
+fn main() -> std::io::Result<()> {
+    use dangle::core::os::OsAliasArena;
+
+    let mut arena = OsAliasArena::new(1 << 20)?;
+
+    let a = arena.alloc(64)?;
+    let b = arena.alloc(64)?;
+    a.write(0, b"written through shadow view A");
+    b.write(0, b"written through shadow view B");
+
+    println!("two objects, one physical page:");
+    println!("  A: shadow {:p}, file offset {}", a.as_ptr(), a.file_offset());
+    println!("  B: shadow {:p}, file offset {}", b.as_ptr(), b.file_offset());
+    println!(
+        "  canonical view sees A's first byte: {:?}",
+        arena.canonical_byte(a.file_offset()) as char
+    );
+
+    let mut a = a;
+    arena.free(&mut a)?;
+    println!("\nfreed A: its shadow pages are now PROT_NONE;");
+    println!(
+        "physical storage still live (canonical byte = {:?}).",
+        arena.canonical_byte(a.file_offset()) as char
+    );
+
+    // Observe the real SIGSEGV from a child process.
+    // SAFETY: the child only performs the dangling read and exits.
+    unsafe {
+        let pid = libc::fork();
+        assert!(pid >= 0);
+        if pid == 0 {
+            println!("\nchild: dereferencing the stale pointer...");
+            let v = std::ptr::read_volatile(a.as_ptr());
+            libc::_exit(i32::from(v == 0)); // unreachable if detection works
+        }
+        let mut status = 0;
+        libc::waitpid(pid, &mut status, 0);
+        if libc::WIFSIGNALED(status) && libc::WTERMSIG(status) == libc::SIGSEGV {
+            println!("parent: child died with SIGSEGV — dangling use DETECTED by the MMU.");
+        } else {
+            println!("parent: unexpected child status {status} — detection failed?");
+        }
+    }
+
+    // B is untouched throughout.
+    let mut buf = [0u8; 8];
+    b.read(0, &mut buf);
+    println!("\nB still works: {:?}...", std::str::from_utf8(&buf).unwrap());
+    Ok(())
+}
+
+#[cfg(not(feature = "os"))]
+fn main() {
+    eprintln!("this example needs the real-OS backend: cargo run --features os --example os_demo");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: catch a use-after-free, a write-after-free and a double
+//! free with the shadow-page detector, and see what it costs.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dangle::core::ShadowHeap;
+use dangle::heap::{AllocError, SysHeap};
+use dangle::vmm::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = Machine::new();
+    let mut heap = ShadowHeap::new(SysHeap::new());
+
+    // Tag call sites so diagnostics read like a debugger backtrace.
+    let site_parse = heap.sites_mut().intern("parse_request");
+    let site_done = heap.sites_mut().intern("finish_request");
+
+    println!("== allocate, use, free ==");
+    let req = heap.alloc_at(&mut machine, 128, site_parse)?;
+    machine.store_u64(req, 0xC0FFEE)?;
+    println!("wrote {:#x} at {req}", machine.load_u64(req)?);
+    heap.free_at(&mut machine, req, site_done)?;
+
+    println!("\n== dangling read ==");
+    let trap = machine.load_u64(req).unwrap_err();
+    let report = heap.explain(&trap).expect("the detector owns that page");
+    println!("caught: {}", report.render(heap.sites()));
+
+    println!("\n== dangling write ==");
+    let trap = machine.store_u64(req.add(64), 7).unwrap_err();
+    println!("caught: {}", heap.explain(&trap).unwrap().render(heap.sites()));
+
+    println!("\n== double free ==");
+    match heap.free_at(&mut machine, req, site_done) {
+        Err(AllocError::Trap(_)) => {
+            let report = heap.last_report().expect("double free attributed");
+            println!("caught: {}", report.render(heap.sites()));
+        }
+        other => panic!("double free must trap, got {other:?}"),
+    }
+
+    println!("\n== cost accounting ==");
+    let s = machine.stats();
+    println!("simulated cycles : {}", machine.clock());
+    println!("mremap syscalls  : {} (one per allocation)", s.mremap_calls);
+    println!("mprotect syscalls: {} (one per free)", s.mprotect_calls);
+    println!("traps delivered  : {} (each one is a caught bug)", s.traps);
+    println!(
+        "physical frames  : {} (page aliasing: same as plain malloc)",
+        s.phys_frames_peak
+    );
+    Ok(())
+}

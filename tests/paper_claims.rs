@@ -1,0 +1,150 @@
+//! The paper's headline quantitative claims, asserted as tests (at reduced
+//! workload scale so the suite stays fast). If a refactor breaks the
+//! *shape* of the evaluation — servers suddenly expensive, Valgrind
+//! suddenly cheap, Electric Fence suddenly thrifty — these fail.
+
+use dangle::interp::backend::{Backend, EFenceBackend, NativeBackend, ShadowPoolBackend};
+use dangle::vmm::Machine;
+use dangle::workloads::apps::{Enscript, Gzip};
+use dangle::workloads::olden_sim::Health;
+use dangle::workloads::olden_trees::Power;
+use dangle::workloads::servers::{Ghttpd, Telnetd};
+use dangle::workloads::Workload;
+
+fn cycles(w: &dyn Workload, backend: &mut dyn Backend) -> (u64, u64) {
+    let mut m = Machine::new();
+    let checksum = w.run(&mut m, backend).expect("workload must succeed");
+    (m.clock(), checksum)
+}
+
+fn slowdown(w: &dyn Workload) -> f64 {
+    let (base, c1) = cycles(w, &mut NativeBackend::new());
+    let (ours, c2) = cycles(w, &mut ShadowPoolBackend::new());
+    assert_eq!(c1, c2, "{}: schemes must not change results", w.name());
+    ours as f64 / base as f64
+}
+
+#[test]
+fn servers_stay_under_four_percent() {
+    // §1/§4.1: "our overheads ... on server applications are less than 4%".
+    for w in dangle::workloads::server_suite() {
+        let r = slowdown(w.as_ref());
+        assert!(r < 1.04, "{}: slowdown {r:.3} exceeds the paper's server bound", w.name());
+        assert!(r >= 1.0, "{}: the detector cannot be free ({r:.3})", w.name());
+    }
+}
+
+#[test]
+fn utilities_stay_under_fifteen_percent() {
+    // §1/§4.1: "our overheads on unix utilities are less than 15%".
+    for w in dangle::workloads::utilities() {
+        let r = slowdown(w.as_ref());
+        assert!(r < 1.155, "{}: slowdown {r:.3} exceeds the utility bound", w.name());
+    }
+}
+
+#[test]
+fn enscript_is_the_worst_utility() {
+    // §4.1: "Only one application, enscript, has a 15% overhead."
+    let enscript = slowdown(&Enscript::default());
+    for w in dangle::workloads::utilities() {
+        if w.name() != "enscript" {
+            assert!(
+                slowdown(w.as_ref()) < enscript,
+                "{} must be cheaper than enscript",
+                w.name()
+            );
+        }
+    }
+    assert!(enscript > 1.10, "enscript should be visibly the worst ({enscript:.3})");
+}
+
+#[test]
+fn olden_splits_into_three_cheap_and_six_expensive() {
+    // §4.4: three Olden programs under 25%, six between 3.22x and 11.24x.
+    let mut cheap = 0;
+    let mut expensive = 0;
+    for w in dangle::workloads::olden_suite() {
+        let r = slowdown(w.as_ref());
+        if r < 1.25 {
+            cheap += 1;
+        } else {
+            assert!(
+                (2.5..12.5).contains(&r),
+                "{}: slowdown {r:.2} outside the paper's expensive band",
+                w.name()
+            );
+            expensive += 1;
+        }
+    }
+    assert_eq!(cheap, 3, "exactly three cheap Olden programs");
+    assert_eq!(expensive, 6, "exactly six expensive Olden programs");
+}
+
+#[test]
+fn health_is_the_worst_olden_program() {
+    // §4.4: health tops out the table (11.24x in the paper).
+    let health = slowdown(&Health::default());
+    assert!(health > 8.0, "health must be the pathological case ({health:.2})");
+    let power = slowdown(&Power::default());
+    assert!(power < 1.25, "power must be essentially free ({power:.2})");
+}
+
+#[test]
+fn efence_physical_blowup_vs_our_sharing() {
+    // §5.3: Electric Fence's page-per-object "results in several fold
+    // increase in memory consumption"; our Insight 1 keeps physical use at
+    // the original program's level.
+    let w = Telnetd { sessions: 2, exchanges: 20 };
+    let frames = |b: &mut dyn Backend| {
+        let mut m = Machine::new();
+        w.run(&mut m, b).unwrap();
+        m.stats().phys_frames_peak
+    };
+    let native = frames(&mut NativeBackend::new());
+    let ours = frames(&mut ShadowPoolBackend::new());
+    let efence = frames(&mut EFenceBackend::new());
+    assert!(
+        ours <= native * 3,
+        "our physical use ({ours}) must stay near native ({native})"
+    );
+    assert!(
+        efence > ours * 5,
+        "EFence ({efence}) must show the several-fold blowup vs ours ({ours})"
+    );
+}
+
+#[test]
+fn virtual_address_use_plateaus_across_connections() {
+    // §4.3: wastage in one connection is not carried to the next.
+    let consumed = |connections: usize| {
+        let w = Ghttpd { connections, response_bytes: 8_000 };
+        let mut m = Machine::new();
+        let mut b = ShadowPoolBackend::new();
+        w.run(&mut m, &mut b).unwrap();
+        m.virt_pages_consumed()
+    };
+    assert_eq!(consumed(3), consumed(30), "steady-state VA growth must be zero");
+}
+
+#[test]
+fn gzip_is_essentially_free() {
+    // Table 1: gzip's allocation-free inner loop makes the detector
+    // invisible (the paper even measures a small speedup under PA).
+    let r = slowdown(&Gzip::default());
+    assert!(r < 1.02, "gzip slowdown {r:.3}");
+}
+
+#[test]
+fn dummy_syscall_column_sits_between_base_and_ours() {
+    // The decomposition argument of Tables 1 and 3 requires
+    // base <= PA+dummy <= ours.
+    use dangle::interp::backend::PoolBackend;
+    for w in dangle::workloads::olden_suite() {
+        let (base, _) = cycles(w.as_ref(), &mut NativeBackend::new());
+        let (dummy, _) = cycles(w.as_ref(), &mut PoolBackend::with_dummy_syscalls());
+        let (ours, _) = cycles(w.as_ref(), &mut ShadowPoolBackend::new());
+        assert!(base <= dummy, "{}: dummy below base", w.name());
+        assert!(dummy <= ours, "{}: ours below dummy", w.name());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based semantics preservation: for randomly generated *safe*
+//! MiniC programs, the Automatic Pool Allocation transform and every
+//! non-detecting/detecting scheme must produce identical observable output
+//! (the sequence of printed values). This is the end-to-end contract the
+//! whole system rests on: the detector changes *when bugs are caught*, not
+//! what correct programs compute.
+
+use dangle::apa::{parse, pool_allocate};
+use dangle::interp::backend::*;
+use dangle::interp::run;
+use dangle::vmm::Machine;
+use proptest::prelude::*;
+use std::fmt::Write;
+
+const FUEL: u64 = 4_000_000;
+
+/// One statement of the generated program, chosen to keep the program
+/// memory-safe by construction (frees only through owned list heads).
+#[derive(Clone, Debug)]
+enum Op {
+    /// `hN = push(hN, c)`: allocate a node onto list head N.
+    Push { list: usize, value: i64 },
+    /// Pop one node off list N and free it (no-op when empty).
+    PopFree { list: usize },
+    /// Traverse list N, printing the sum of its values.
+    PrintSum { list: usize },
+    /// Free the whole list N.
+    DrainFree { list: usize },
+    /// Print an arithmetic expression of the loop counter.
+    PrintArith { a: i64, b: i64 },
+}
+
+const LISTS: usize = 3;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..LISTS, -50i64..50).prop_map(|(list, value)| Op::Push { list, value }),
+        2 => (0..LISTS).prop_map(|list| Op::PopFree { list }),
+        2 => (0..LISTS).prop_map(|list| Op::PrintSum { list }),
+        1 => (0..LISTS).prop_map(|list| Op::DrainFree { list }),
+        2 => (-9i64..9, 1i64..9).prop_map(|(a, b)| Op::PrintArith { a, b }),
+    ]
+}
+
+/// Renders the op sequence as a MiniC program.
+fn render(ops: &[Op]) -> String {
+    let mut src = String::from(
+        "struct node { next: ptr<node>, val: int }\n\
+         fn sum(p: ptr<node>) -> int {\n\
+             var s: int = 0;\n\
+             while (p != null) { s = s + p->val; p = p->next; }\n\
+             return s;\n\
+         }\n\
+         fn main() {\n",
+    );
+    for l in 0..LISTS {
+        let _ = writeln!(src, "    var h{l}: ptr<node> = null;");
+    }
+    let _ = writeln!(src, "    var t: ptr<node> = null;");
+    for op in ops {
+        match op {
+            Op::Push { list, value } => {
+                let _ = writeln!(
+                    src,
+                    "    t = malloc(node); t->val = {value}; t->next = h{list}; h{list} = t; t = null;"
+                );
+            }
+            Op::PopFree { list } => {
+                let _ = writeln!(
+                    src,
+                    "    if (h{list} != null) {{ t = h{list}->next; free(h{list}); h{list} = t; t = null; }}"
+                );
+            }
+            Op::PrintSum { list } => {
+                let _ = writeln!(src, "    print(sum(h{list}));");
+            }
+            Op::DrainFree { list } => {
+                let _ = writeln!(
+                    src,
+                    "    while (h{list} != null) {{ t = h{list}->next; free(h{list}); h{list} = t; }} t = null;"
+                );
+            }
+            Op::PrintArith { a, b } => {
+                let _ = writeln!(src, "    print(({a} * {b} + {b}) % 17);");
+            }
+        }
+    }
+    src.push_str("}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Transform + any scheme == native, for safe random programs.
+    #[test]
+    fn transform_and_schemes_preserve_output(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let src = render(&ops);
+        let prog = parse(&src).unwrap_or_else(|e| panic!("generated source failed to parse: {e}\n{src}"));
+        let (transformed, _) = pool_allocate(&prog);
+        dangle::apa::validate(&transformed, true)
+            .unwrap_or_else(|errs| panic!("transform produced ill-formed output: {errs:?}\n{src}"));
+
+        let reference = run(&prog, &mut Machine::free_running(), &mut NativeBackend::new(), FUEL)
+            .unwrap_or_else(|e| panic!("native run failed: {e}\n{src}"))
+            .output;
+
+        // Transformed program under pool-aware schemes.
+        let mut pooled: Vec<(&str, Box<dyn Backend>)> = vec![
+            ("pa", Box::new(PoolBackend::new())),
+            ("pa+dummy", Box::new(PoolBackend::with_dummy_syscalls())),
+            ("ours", Box::new(ShadowPoolBackend::new())),
+        ];
+        for (name, b) in &mut pooled {
+            let out = run(&transformed, &mut Machine::free_running(), b.as_mut(), FUEL)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}\n{src}"));
+            prop_assert_eq!(&out.output, &reference, "{} diverged", name);
+        }
+
+        // Untransformed program under whole-heap detectors.
+        let mut whole: Vec<(&str, Box<dyn Backend>)> = vec![
+            ("shadow", Box::new(ShadowBackend::new())),
+            ("efence", Box::new(EFenceBackend::new())),
+            ("memcheck", Box::new(MemcheckBackend::new())),
+            ("capability", Box::new(CapabilityBackend::new())),
+        ];
+        for (name, b) in &mut whole {
+            let out = run(&prog, &mut Machine::free_running(), b.as_mut(), FUEL)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}\n{src}"));
+            prop_assert_eq!(&out.output, &reference, "{} diverged", name);
+        }
+    }
+
+    /// The pretty-printer round-trips every generated program.
+    #[test]
+    fn generated_programs_round_trip(ops in prop::collection::vec(op_strategy(), 1..30)) {
+        let src = render(&ops);
+        let prog = parse(&src).unwrap();
+        let printed = dangle::apa::to_source(&prog);
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(prog, reparsed);
+    }
+}
