@@ -20,7 +20,7 @@
 //! missed only if the storage is re-allocated under a colliding capability
 //! (1 in 65,536).
 
-use crate::{CheckError, CheckedMemory, DetectionStats};
+use crate::{CheckError, CheckedMemory};
 use dangle_heap::{AllocError, AllocStats, Allocator, SysHeap};
 use dangle_vmm::{Machine, VirtAddr};
 use std::collections::{BTreeMap, HashSet};
@@ -71,7 +71,6 @@ pub struct CapabilityChecker {
     next_cap: u16,
     /// Modeled metadata footprint: per-object metadata + GCS entry.
     metadata_bytes: u64,
-    detections: DetectionStats,
 }
 
 impl CapabilityChecker {
@@ -83,11 +82,6 @@ impl CapabilityChecker {
     /// Creates the baseline with an explicit configuration.
     pub fn with_config(config: CapabilityConfig) -> CapabilityChecker {
         CapabilityChecker { config, ..CapabilityChecker::default() }
-    }
-
-    /// Detection counters.
-    pub fn detections(&self) -> DetectionStats {
-        self.detections
     }
 
     /// Modeled metadata memory footprint in bytes (the source of the
@@ -108,7 +102,7 @@ impl CapabilityChecker {
 
     fn check(&mut self, machine: &mut Machine, tagged: VirtAddr) -> Result<VirtAddr, CheckError> {
         machine.tick(self.config.per_access_cost);
-        self.detections.checks_performed += 1;
+        machine.telemetry_mut().counter_add("baseline.checks_performed", 1);
         let (cap, real) = untag(tagged);
         if cap == 0 {
             // Untagged address: not a capability-managed heap pointer
@@ -121,7 +115,7 @@ impl CapabilityChecker {
                 Ok(real)
             }
             _ => {
-                self.detections.dangling_detected += 1;
+                machine.telemetry_mut().counter_add("baseline.dangling_detected", 1);
                 Err(CheckError::Dangling { addr: tagged })
             }
         }
@@ -162,7 +156,7 @@ impl Allocator for CapabilityChecker {
                 self.heap.free(machine, real)
             }
             _ => {
-                self.detections.dangling_detected += 1;
+                machine.telemetry_mut().counter_add("baseline.dangling_detected", 1);
                 Err(AllocError::InvalidFree { addr })
             }
         }
@@ -252,7 +246,7 @@ mod tests {
         let p = c.alloc(&mut m, 16).unwrap();
         c.free(&mut m, p).unwrap();
         assert!(c.free(&mut m, p).is_err());
-        assert_eq!(c.detections().dangling_detected, 1);
+        assert_eq!(m.telemetry().counter("baseline.dangling_detected"), 1);
     }
 
     #[test]

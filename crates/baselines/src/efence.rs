@@ -13,7 +13,6 @@
 //! An optional guard page after the object (Electric Fence's overflow
 //! detection) is included for completeness.
 
-use crate::DetectionStats;
 use dangle_heap::{AllocError, AllocStats, Allocator};
 use dangle_vmm::{Machine, Protection, VirtAddr, PAGE_SIZE};
 use std::collections::HashMap;
@@ -45,7 +44,6 @@ pub struct EFence {
     config: EFenceConfig,
     objects: HashMap<VirtAddr, Object>,
     stats: AllocStats,
-    detections: DetectionStats,
 }
 
 impl EFence {
@@ -57,11 +55,6 @@ impl EFence {
     /// Creates the baseline with an explicit configuration.
     pub fn with_config(config: EFenceConfig) -> EFence {
         EFence { config, ..EFence::default() }
-    }
-
-    /// Detection counters.
-    pub fn detections(&self) -> DetectionStats {
-        self.detections
     }
 }
 
@@ -101,7 +94,7 @@ impl Allocator for EFence {
             Some(_) => {
                 // Double free: detected because the bookkeeping still knows
                 // the object.
-                self.detections.dangling_detected += 1;
+                machine.telemetry_mut().counter_add("baseline.dangling_detected", 1);
                 Err(AllocError::InvalidFree { addr })
             }
             None => Err(AllocError::InvalidFree { addr }),
@@ -147,7 +140,7 @@ mod tests {
         let p = e.alloc(&mut m, 16).unwrap();
         e.free(&mut m, p).unwrap();
         assert!(matches!(e.free(&mut m, p), Err(AllocError::InvalidFree { .. })));
-        assert_eq!(e.detections().dangling_detected, 1);
+        assert_eq!(m.telemetry().counter("baseline.dangling_detected"), 1);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! The per-access detectors expose [`CheckedMemory`] (checked
 //! `load`/`store`), which the workload driver routes all program accesses
 //! through; MMU-based schemes get checking "for free" from the hardware.
+//!
+//! Detection bookkeeping goes through the machine's telemetry registry:
+//! every software check bumps `baseline.checks_performed`, every flagged
+//! temporal error bumps `baseline.dangling_detected`.
 
 pub mod capability;
 pub mod efence;
@@ -86,17 +90,6 @@ pub trait CheckedMemory {
         width: usize,
         value: u64,
     ) -> Result<(), CheckError>;
-}
-
-/// Detection counters shared by the baseline detectors.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DetectionStats {
-    /// Temporal errors flagged.
-    pub dangling_detected: u64,
-    /// Temporal errors known missed (memcheck only: access to memory whose
-    /// quarantine entry was already recycled — counted by the test harness
-    /// when it knows ground truth, not observable by the tool itself).
-    pub checks_performed: u64,
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! The model: [`SysHeap`] underneath, a byte-budgeted quarantine, a range
 //! map of block states, and a fixed instrumentation charge per access.
 
-use crate::{CheckError, CheckedMemory, DetectionStats};
+use crate::{CheckError, CheckedMemory};
 use dangle_heap::{AllocError, AllocStats, Allocator, SysHeap};
 use dangle_vmm::{Machine, VirtAddr};
 use std::collections::{BTreeMap, VecDeque};
@@ -62,7 +62,6 @@ pub struct Memcheck {
     /// FIFO of quarantined blocks (payload, size).
     quarantine: VecDeque<(VirtAddr, usize)>,
     quarantined_bytes: usize,
-    detections: DetectionStats,
     /// Dangling uses that hit memory already recycled out of quarantine —
     /// the misses the heuristic cannot see. Counted when the recycled range
     /// is re-allocated and a block entry is overwritten.
@@ -80,11 +79,6 @@ impl Memcheck {
         Memcheck { config, ..Memcheck::default() }
     }
 
-    /// Detection counters.
-    pub fn detections(&self) -> DetectionStats {
-        self.detections
-    }
-
     /// Number of freed blocks whose quarantine entries were recycled —
     /// dangling uses of those can no longer be detected.
     pub fn recycled_blocks(&self) -> u64 {
@@ -98,10 +92,10 @@ impl Memcheck {
 
     fn check(&mut self, machine: &mut Machine, addr: VirtAddr) -> Result<(), CheckError> {
         machine.tick(self.config.per_access_cost);
-        self.detections.checks_performed += 1;
+        machine.telemetry_mut().counter_add("baseline.checks_performed", 1);
         if let Some((_, b)) = self.lookup(addr) {
             if b.state == BlockState::Quarantined {
-                self.detections.dangling_detected += 1;
+                machine.telemetry_mut().counter_add("baseline.dangling_detected", 1);
                 return Err(CheckError::Dangling { addr });
             }
         }
@@ -154,7 +148,7 @@ impl Allocator for Memcheck {
                 self.drain_quarantine(machine)
             }
             Some(_) => {
-                self.detections.dangling_detected += 1;
+                machine.telemetry_mut().counter_add("baseline.dangling_detected", 1);
                 Err(AllocError::InvalidFree { addr })
             }
             None => Err(AllocError::InvalidFree { addr }),
@@ -216,7 +210,8 @@ mod tests {
         mc.free(&mut m, p).unwrap();
         let err = mc.load(&mut m, p, 8).unwrap_err();
         assert_eq!(err, CheckError::Dangling { addr: p });
-        assert_eq!(mc.detections().dangling_detected, 1);
+        assert_eq!(m.telemetry().counter("baseline.dangling_detected"), 1);
+        assert!(m.telemetry().counter("baseline.checks_performed") >= 2);
     }
 
     #[test]

@@ -1,101 +1,98 @@
-//! Criterion microbenchmarks of the detector's primitive operations: the
+//! Microbenchmarks of the detector's primitive operations: the
 //! per-allocation cost (underlying malloc + `mremap` alias + header word),
 //! the per-free cost (`mprotect` + underlying free), the checked access
 //! path, and the pool create/destroy cycle. These measure *host* time of
 //! the simulator — useful for tracking regressions in the implementation
 //! itself (the paper-facing numbers are the simulated cycles printed by the
 //! table binaries).
+//!
+//! Plain `std::time::Instant` harness (`harness = false`): each case is
+//! warmed up, then timed over enough iterations to smooth scheduler noise.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use dangle_core::{ShadowHeap, ShadowPool};
 use dangle_heap::{Allocator, SysHeap};
 use dangle_vmm::Machine;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_alloc_free(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alloc_free_pair");
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
-    group.bench_function("sys_heap", |b| {
+const WARMUP_ITERS: u32 = 2_000;
+const TIMED_ITERS: u32 = 20_000;
+
+/// Runs `f` WARMUP_ITERS times untimed, then TIMED_ITERS times timed, and
+/// prints the mean per-iteration nanoseconds.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..TIMED_ITERS {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!("{name:<40} {:>10.1} ns/iter", elapsed.as_nanos() as f64 / TIMED_ITERS as f64);
+}
+
+fn main() {
+    println!("microbench: host-time cost of the simulator's primitives\n");
+
+    {
         let mut m = Machine::new();
         let mut h = SysHeap::new();
-        b.iter(|| {
+        bench("alloc_free_pair/sys_heap", || {
             let p = h.alloc(&mut m, 64).unwrap();
             h.free(&mut m, black_box(p)).unwrap();
         });
-    });
-    group.bench_function("shadow_heap", |b| {
+    }
+    {
         let mut m = Machine::new();
         let mut h = ShadowHeap::new(SysHeap::new());
-        b.iter(|| {
+        bench("alloc_free_pair/shadow_heap", || {
             let p = h.alloc(&mut m, 64).unwrap();
             h.free(&mut m, black_box(p)).unwrap();
         });
-    });
-    group.bench_function("shadow_pool", |b| {
+    }
+    {
         let mut m = Machine::new();
         let mut sp = ShadowPool::new();
         let pool = sp.create(64);
-        b.iter(|| {
+        bench("alloc_free_pair/shadow_pool", || {
             let p = sp.alloc(&mut m, pool, 64).unwrap();
             sp.free(&mut m, pool, black_box(p)).unwrap();
         });
-    });
-    group.finish();
-}
-
-fn bench_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("access");
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
-    group.bench_function("load_store_u64", |b| {
+    }
+    {
         let mut m = Machine::new();
         let p = m.mmap(1).unwrap();
-        b.iter(|| {
+        bench("access/load_store_u64", || {
             m.store_u64(p, 42).unwrap();
             black_box(m.load_u64(p).unwrap());
         });
-    });
-    group.bench_function("load_through_shadow", |b| {
+    }
+    {
         let mut m = Machine::new();
         let mut h = ShadowHeap::new(SysHeap::new());
         let p = h.alloc(&mut m, 64).unwrap();
         m.store_u64(p, 7).unwrap();
-        b.iter(|| black_box(m.load_u64(black_box(p)).unwrap()));
-    });
-    group.finish();
-}
-
-fn bench_pool_lifecycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pool_lifecycle");
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
-    group.bench_function("pool_create_alloc_destroy", |b| {
+        bench("access/load_through_shadow", || {
+            black_box(m.load_u64(black_box(p)).unwrap());
+        });
+    }
+    {
         let mut m = Machine::new();
         let mut sp = ShadowPool::new();
-        b.iter(|| {
+        bench("pool_lifecycle/create_alloc_destroy", || {
             let pool = sp.create(16);
             for _ in 0..8 {
                 black_box(sp.alloc(&mut m, pool, 16).unwrap());
             }
             sp.destroy(&mut m, pool).unwrap();
         });
-    });
-    group.finish();
-}
-
-fn bench_remap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("remap");
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
-    group.bench_function("mremap_alias_page", |b| {
+    }
+    {
         let mut m = Machine::new();
         let p = m.mmap(1).unwrap();
-        b.iter(|| black_box(m.mremap_alias(black_box(p), 1).unwrap()));
-    });
-    group.finish();
+        bench("remap/mremap_alias_page", || {
+            black_box(m.mremap_alias(black_box(p), 1).unwrap());
+        });
+    }
 }
-
-criterion_group!(benches, bench_alloc_free, bench_access, bench_pool_lifecycle, bench_remap);
-criterion_main!(benches);

@@ -1,83 +1,57 @@
-//! Criterion wrappers over the table workloads: one group per paper table,
+//! Host-time wrappers over the table workloads: one group per paper table,
 //! measuring host-side runtime of representative workload/configuration
 //! pairs at reduced scale. The authoritative paper-shaped output comes from
 //! the `table1`/`table2`/`table3` binaries; these benches exist so `cargo
-//! bench` exercises the same code paths under Criterion's statistics.
+//! bench` exercises the same code paths under a simple `Instant` timer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use dangle_bench::{measure, Config};
 use dangle_workloads::apps::{Enscript, Gzip};
 use dangle_workloads::olden_sim::Health;
 use dangle_workloads::olden_trees::TreeAdd;
 use dangle_workloads::servers::Ghttpd;
+use dangle_workloads::Workload;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
+const ITERS: u32 = 5;
+
+/// Times `measure(workload, config)` over ITERS runs (first run untimed as
+/// warm-up) and prints the mean per-run milliseconds.
+fn bench(group: &str, workload: &dyn Workload, config: Config) {
+    black_box(measure(workload, config).cycles);
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(measure(workload, config).cycles);
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{group}/{}/{:<20} {:>9.2} ms/run",
+        workload.name(),
+        config.label(),
+        elapsed.as_secs_f64() * 1e3 / ITERS as f64
+    );
+}
+
+fn main() {
+    println!("tables: host-time of the table workloads at reduced scale\n");
+
     let server = Ghttpd { connections: 4, response_bytes: 8_000 };
     let utility = Enscript { input_bytes: 8_000, lines_per_page: 22 };
     let gzip = Gzip { input_bytes: 12_000 };
     for config in [Config::Base, Config::Pa, Config::PaDummy, Config::Ours] {
-        group.bench_with_input(
-            BenchmarkId::new("ghttpd", config.label()),
-            &config,
-            |b, &cfg| b.iter(|| black_box(measure(&server, cfg).cycles)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("enscript", config.label()),
-            &config,
-            |b, &cfg| b.iter(|| black_box(measure(&utility, cfg).cycles)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("gzip", config.label()),
-            &config,
-            |b, &cfg| b.iter(|| black_box(measure(&gzip, cfg).cycles)),
-        );
+        bench("table1", &server, config);
+        bench("table1", &utility, config);
+        bench("table1", &gzip, config);
     }
-    group.finish();
-}
 
-fn bench_table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
-    let utility = Enscript { input_bytes: 8_000, lines_per_page: 22 };
     for config in [Config::Ours, Config::Memcheck] {
-        group.bench_with_input(
-            BenchmarkId::new("enscript", config.label()),
-            &config,
-            |b, &cfg| b.iter(|| black_box(measure(&utility, cfg).cycles)),
-        );
+        bench("table2", &utility, config);
     }
-    group.finish();
-}
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
     let treeadd = TreeAdd { depth: 8, passes: 2 };
     let health = Health { levels: 3, steps: 15 };
     for config in [Config::Base, Config::PaDummy, Config::Ours] {
-        group.bench_with_input(
-            BenchmarkId::new("treeadd", config.label()),
-            &config,
-            |b, &cfg| b.iter(|| black_box(measure(&treeadd, cfg).cycles)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("health", config.label()),
-            &config,
-            |b, &cfg| b.iter(|| black_box(measure(&health, cfg).cycles)),
-        );
+        bench("table3", &treeadd, config);
+        bench("table3", &health, config);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1, bench_table2, bench_table3);
-criterion_main!(benches);

@@ -15,21 +15,24 @@
 //! cargo run --release -p dangle-bench --bin ablation
 //! ```
 
-use dangle_bench::{measure, measure_with, ratio, render_table, Config};
+use dangle_bench::{measure, measure_with, ratio, render_table, Artifact, Config};
 use dangle_interp::backend::{Backend, CombinedBackend, EFenceBackend, ShadowPoolBackend};
 use dangle_pool::PoolConfig;
+use dangle_telemetry::Json;
 use dangle_vmm::{CostModel, Machine, MachineConfig, TlbConfig};
 use dangle_workloads::olden_trees::TreeAdd;
 use dangle_workloads::servers::Ghttpd;
 use dangle_workloads::Workload;
 
 fn main() {
+    let mut artifact = Artifact::new("ablation");
     let alloc_heavy = TreeAdd { depth: 10, passes: 4 };
     let base = measure(&alloc_heavy, Config::Base);
 
     // 1. Syscall cost sweep.
     println!("Ablation 1: per-allocation syscall cost (treeadd, Ours vs base)\n");
     let mut rows = Vec::new();
+    let mut sweep = Vec::new();
     for scale in [0.0, 0.25, 0.5, 1.0, 2.0] {
         let c = CostModel::calibrated();
         let cost = CostModel {
@@ -49,7 +52,12 @@ fn main() {
             format!("{:.2}x syscall cost", scale),
             format!("{:.2}", ratio(ours.cycles, base.cycles)),
         ]);
+        sweep.push(Json::Obj(vec![
+            ("syscall_cost_scale".into(), Json::Float(scale)),
+            ("slowdown".into(), Json::Float(ratio(ours.cycles, base.cycles))),
+        ]));
     }
+    artifact.set("syscall_cost_sweep", Json::Arr(sweep));
     println!("{}", render_table(&["configuration", "slowdown vs base"], &rows));
     println!(
         "-> even free syscalls leave residual TLB overhead: the two\n\
@@ -59,6 +67,7 @@ fn main() {
     // 2. TLB geometry sweep.
     println!("Ablation 2: TLB reach (treeadd, Ours)\n");
     let mut rows = Vec::new();
+    let mut sweep = Vec::new();
     for entries in [16usize, 64, 256, 1024] {
         let ours = measure_with(
             &alloc_heavy,
@@ -81,7 +90,16 @@ fn main() {
             format!("{:.2}", ratio(ours.cycles, b.cycles)),
             format!("{}", ours.stats.loads + ours.stats.stores),
         ]);
+        sweep.push(Json::Obj(vec![
+            ("tlb_entries".into(), Json::from_u64(entries as u64)),
+            ("slowdown".into(), Json::Float(ratio(ours.cycles, b.cycles))),
+            (
+                "tlb_misses".into(),
+                Json::from_u64(ours.metrics.counter("vmm.tlb_misses")),
+            ),
+        ]));
     }
+    artifact.set("tlb_geometry_sweep", Json::Arr(sweep));
     println!("{}", render_table(&["TLB", "slowdown vs base", "accesses"], &rows));
     println!(
         "-> a larger TLB absorbs the object-per-page pressure, exactly the\n\
@@ -105,6 +123,14 @@ fn main() {
     println!("  with reuse (Insight 2):    {with:>6} virtual pages for 30 connections");
     println!("  without reuse (basic):     {without:>6} virtual pages for 30 connections");
     println!("  -> reuse factor: {:.1}x\n", without as f64 / with as f64);
+    artifact.set(
+        "free_list_ablation",
+        Json::Obj(vec![
+            ("virt_pages_with_reuse".into(), Json::from_u64(with)),
+            ("virt_pages_without_reuse".into(), Json::from_u64(without)),
+            ("reuse_factor".into(), Json::Float(without as f64 / with as f64)),
+        ]),
+    );
 
     // 4. Physical frames: Insight 1 vs Electric Fence.
     println!("Ablation 4: physical-page sharing vs Electric Fence (treeadd depth 10)\n");
@@ -128,8 +154,20 @@ fn main() {
          Fence 'runs out of physical memory' on enscript (§4.1).\n",
         efence_frames as f64 / ours_frames as f64
     );
+    artifact.set(
+        "physical_sharing_ablation",
+        Json::Obj(vec![
+            ("ours_phys_frames_peak".into(), Json::from_u64(ours_frames)),
+            ("efence_phys_frames_peak".into(), Json::from_u64(efence_frames)),
+            (
+                "blowup_factor".into(),
+                Json::Float(efence_frames as f64 / ours_frames as f64),
+            ),
+        ]),
+    );
 
-    ablation_combined();
+    ablation_combined(&mut artifact);
+    artifact.write_cwd().expect("write BENCH artifact");
 }
 
 /// A ShadowPoolBackend whose pool runtime has the shared free list
@@ -140,7 +178,7 @@ fn shadow_pool_without_reuse() -> ShadowPoolBackend {
 
 /// Ablation 5: the §6 "comprehensive tool" claim — temporal (ours) +
 /// spatial (bounds) checking combined, still far below Valgrind.
-fn ablation_combined() {
+fn ablation_combined(artifact: &mut Artifact) {
     println!("Ablation 5: combined spatial+temporal checking (enscript)\n");
     use dangle_workloads::apps::Enscript;
     let w = Enscript::default();
@@ -160,6 +198,14 @@ fn ablation_combined() {
     rows.push(vec!["ours + bounds (combined)".into(), format!("{:.2}", ratio(combined, base.cycles))]);
     rows.push(vec!["Valgrind".into(), format!("{:.2}", ratio(valgrind.cycles, base.cycles))]);
     println!("{}", render_table(&["checker", "slowdown vs base"], &rows));
+    artifact.set(
+        "combined_checking",
+        Json::Obj(vec![
+            ("ours_slowdown".into(), Json::Float(ratio(ours.cycles, base.cycles))),
+            ("combined_slowdown".into(), Json::Float(ratio(combined, base.cycles))),
+            ("valgrind_slowdown".into(), Json::Float(ratio(valgrind.cycles, base.cycles))),
+        ]),
+    );
     println!(
         "-> \"if those techniques were combined with ours, our cumulative\n\
          overheads would still be much lower than that of Valgrind\" (§4.2).\n"

@@ -6,11 +6,13 @@
 //! cargo run --release -p dangle-bench --bin exhaustion
 //! ```
 
+use dangle_bench::Artifact;
 use dangle_core::exhaustion::{
     paper_adversarial_hours, time_to_exhaustion, VA_BYTES_32BIT, VA_BYTES_64BIT,
 };
 use dangle_core::{gc, ShadowConfig, ShadowHeap, ShadowPool};
 use dangle_heap::{Allocator, SysHeap};
+use dangle_telemetry::Json;
 use dangle_vmm::{Machine, MachineConfig};
 
 fn main() {
@@ -18,6 +20,7 @@ fn main() {
 
     println!("closed form: time to exhaust VA at a given allocation rate");
     println!("  (one object per page, no reuse — the basic scheme)\n");
+    let mut closed_form_rows = Vec::new();
     for (label, rate) in [
         ("1 alloc/us (paper's extreme)", 1_000_000u64),
         ("100k alloc/s", 100_000),
@@ -31,6 +34,12 @@ fn main() {
             t64.as_secs_f64() / 3600.0,
             t32.as_secs_f64()
         );
+        closed_form_rows.push(Json::Obj(vec![
+            ("label".into(), Json::Str(label.to_string())),
+            ("allocs_per_second".into(), Json::from_u64(rate)),
+            ("hours_64bit".into(), Json::Float(t64.as_secs_f64() / 3600.0)),
+            ("seconds_32bit".into(), Json::Float(t32.as_secs_f64())),
+        ]));
     }
     println!(
         "\n  paper's headline: {:.1} hours (\"at least 9 hours\" in §1/§3.4)\n",
@@ -58,18 +67,18 @@ fn main() {
         ShadowConfig { recycle_threshold_pages: Some(2_000) },
     );
     let target = allocated * 20;
-    let mut ok = 0u64;
+    let mut threshold_ok = 0u64;
     for _ in 0..target {
         match h.alloc(&mut m, 64) {
             Ok(p) => {
                 let _ = h.free(&mut m, p);
-                ok += 1;
+                threshold_ok += 1;
             }
             Err(_) => break,
         }
     }
     println!(
-        "  solution 1 (recycle threshold): survived {ok}/{target} allocations \
+        "  solution 1 (recycle threshold): survived {threshold_ok}/{target} allocations \
          (guarantee waived past the threshold)"
     );
 
@@ -109,6 +118,22 @@ fn main() {
         "  solution 2 (conservative GC):   survived {ok}/{target} allocations \
          with {gcs} collections of the global pool"
     );
+
+    let mut artifact = Artifact::new("exhaustion");
+    artifact.set("closed_form", Json::Arr(closed_form_rows));
+    artifact.set("paper_adversarial_hours", Json::Float(paper_adversarial_hours()));
+    artifact.set(
+        "tiny_machine_demo",
+        Json::Obj(vec![
+            ("virt_pages".into(), Json::from_u64(4_000)),
+            ("basic_exhausted_after".into(), Json::from_u64(allocated)),
+            ("target_allocations".into(), Json::from_u64(target)),
+            ("threshold_recycling_survived".into(), Json::from_u64(threshold_ok)),
+            ("gc_survived".into(), Json::from_u64(ok)),
+            ("gc_collections".into(), Json::from_u64(gcs as u64)),
+        ]),
+    );
+    artifact.write_cwd().expect("write BENCH artifact");
     println!(
         "\nBoth mitigations keep a long-lived process alive indefinitely; the\n\
          pure pool path (Table 1 servers) never needs them because\n\

@@ -15,7 +15,8 @@
 //! ```
 
 use dangle_apa::{parse, pool_allocate, Program};
-use dangle_bench::render_table;
+use dangle_bench::{render_table, Artifact};
+use dangle_telemetry::Json;
 use dangle_baselines::memcheck::MemcheckConfig;
 use dangle_interp::backend::{
     Backend, CapabilityBackend, EFenceBackend, MemcheckBackend, NativeBackend, PoolBackend,
@@ -179,6 +180,29 @@ fn main() {
         })
         .collect();
     println!("{}", render_table(&["scheme", "detected", "rate"], &rows));
+
+    let mut artifact = Artifact::new("soundness");
+    artifact.set("programs", Json::from_u64(programs as u64));
+    artifact.set(
+        "schemes",
+        Json::Arr(
+            schemes
+                .iter()
+                .enumerate()
+                .map(|(i, (name, _, _))| {
+                    Json::Obj(vec![
+                        ("scheme".into(), Json::Str(name.to_string())),
+                        ("detected".into(), Json::from_u64(caught[i] as u64)),
+                        (
+                            "rate".into(),
+                            Json::Float(caught[i] as f64 / programs as f64),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    artifact.write_cwd().expect("write BENCH artifact");
 
     let ours = caught[2];
     let shadow = caught[3];

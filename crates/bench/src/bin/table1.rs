@@ -10,7 +10,10 @@
 //! enscript worst; the `PA + dummy syscalls` column isolates the syscall
 //! share of the overhead, the remainder being TLB pressure.
 
-use dangle_bench::{mcycles, measure, ratio, render_table, Config};
+use dangle_bench::{
+    decomposition_json, mcycles, measure, ratio, render_table, Artifact, Config,
+};
+use dangle_telemetry::Json;
 use dangle_workloads::{server_suite, utilities};
 
 fn main() {
@@ -25,6 +28,7 @@ fn main() {
         "Ratio 2",
     ];
     let mut rows = Vec::new();
+    let mut artifact_rows = Vec::new();
     let mut section = |title: &str, workloads: Vec<Box<dyn dangle_workloads::Workload>>| {
         rows.push(vec![format!("-- {title} --")]);
         for w in workloads {
@@ -44,10 +48,34 @@ fn main() {
                 format!("{:.2}", ratio(ours.cycles, base.cycles)),
                 format!("{:.2}", ratio(ours.cycles, native.cycles)),
             ]);
+            let configs = [
+                (Config::Native, &native),
+                (Config::Base, &base),
+                (Config::Pa, &pa),
+                (Config::PaDummy, &pa_dummy),
+                (Config::Ours, &ours),
+            ];
+            artifact_rows.push(Json::Obj(vec![
+                ("workload".into(), Json::Str(w.name().to_string())),
+                ("section".into(), Json::Str(title.to_lowercase())),
+                (
+                    "configs".into(),
+                    Json::Obj(
+                        configs.iter().map(|(c, m)| (c.key().to_string(), m.to_json())).collect(),
+                    ),
+                ),
+                ("ratio1".into(), Json::Float(ratio(ours.cycles, base.cycles))),
+                ("ratio2".into(), Json::Float(ratio(ours.cycles, native.cycles))),
+                ("decomposition".into(), decomposition_json(&base, &pa_dummy, &ours)),
+            ]));
         }
     };
     section("Utilities", utilities());
     section("Servers", server_suite());
+
+    let mut artifact = Artifact::new("table1");
+    artifact.set("rows", Json::Arr(artifact_rows));
+    artifact.write_cwd().expect("write BENCH artifact");
 
     println!("Table 1: Runtime overheads of our approach.");
     println!(

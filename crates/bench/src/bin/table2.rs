@@ -9,7 +9,8 @@
 //! orders of magnitude above ours (1.00–1.15×) — and, unlike ours,
 //! Valgrind's detection is heuristic (quarantine-bounded).
 
-use dangle_bench::{measure, ratio, render_table, Config};
+use dangle_bench::{measure, ratio, render_table, Artifact, Config};
+use dangle_telemetry::Json;
 use dangle_workloads::utilities;
 
 fn main() {
@@ -21,6 +22,7 @@ fn main() {
         "Valgrind slowdown",
     ];
     let mut rows = Vec::new();
+    let mut artifact_rows = Vec::new();
     for w in utilities() {
         let base = measure(w.as_ref(), Config::Base);
         let ours = measure(w.as_ref(), Config::Ours);
@@ -33,7 +35,27 @@ fn main() {
             format!("{:.2}", ratio(ours.cycles, base.cycles)),
             format!("{:.2}", ratio(valgrind.cycles, base.cycles)),
         ]);
+        artifact_rows.push(Json::Obj(vec![
+            ("workload".into(), Json::Str(w.name().to_string())),
+            (
+                "configs".into(),
+                Json::Obj(vec![
+                    (Config::Base.key().into(), base.to_json()),
+                    (Config::Ours.key().into(), ours.to_json()),
+                    (Config::Memcheck.key().into(), valgrind.to_json()),
+                ]),
+            ),
+            ("our_slowdown".into(), Json::Float(ratio(ours.cycles, base.cycles))),
+            ("valgrind_slowdown".into(), Json::Float(ratio(valgrind.cycles, base.cycles))),
+            (
+                "valgrind_checks_performed".into(),
+                Json::from_u64(valgrind.metrics.counter("baseline.checks_performed")),
+            ),
+        ]));
     }
+    let mut artifact = Artifact::new("table2");
+    artifact.set("rows", Json::Arr(artifact_rows));
+    artifact.write_cwd().expect("write BENCH artifact");
     println!("Table 2: Comparison with Valgrind. Our slowdown is Ratio 1 from Table 1.\n");
     println!("{}", render_table(&header, &rows));
     println!(

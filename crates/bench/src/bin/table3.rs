@@ -10,7 +10,10 @@
 //! per-(de)allocation system calls (visible in the `PA + dummy` column)
 //! and TLB misses (the remainder).
 
-use dangle_bench::{mcycles, measure, ratio, render_table, Config};
+use dangle_bench::{
+    decomposition_json, mcycles, measure, ratio, render_table, Artifact, Config,
+};
+use dangle_telemetry::Json;
 use dangle_workloads::olden_suite;
 
 fn main() {
@@ -25,6 +28,7 @@ fn main() {
         "TLB share",
     ];
     let mut rows = Vec::new();
+    let mut artifact_rows = Vec::new();
     for w in olden_suite() {
         let native = measure(w.as_ref(), Config::Native);
         let base = measure(w.as_ref(), Config::Base);
@@ -46,7 +50,24 @@ fn main() {
                 100.0 * (overhead.saturating_sub(syscall_part)) as f64 / overhead as f64
             ),
         ]);
+        artifact_rows.push(Json::Obj(vec![
+            ("workload".into(), Json::Str(w.name().to_string())),
+            (
+                "configs".into(),
+                Json::Obj(vec![
+                    (Config::Native.key().into(), native.to_json()),
+                    (Config::Base.key().into(), base.to_json()),
+                    (Config::PaDummy.key().into(), pa_dummy.to_json()),
+                    (Config::Ours.key().into(), ours.to_json()),
+                ]),
+            ),
+            ("ratio3".into(), Json::Float(ratio(ours.cycles, base.cycles))),
+            ("decomposition".into(), decomposition_json(&base, &pa_dummy, &ours)),
+        ]));
     }
+    let mut artifact = Artifact::new("table3");
+    artifact.set("rows", Json::Arr(artifact_rows));
+    artifact.write_cwd().expect("write BENCH artifact");
     println!(
         "Table 3: Overheads for allocation intensive Olden benchmarks.\n\
          Ratio 3 = Our approach / LLVM base.\n"

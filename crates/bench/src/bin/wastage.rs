@@ -11,7 +11,9 @@
 //! fork-per-connection model means wastage never carries across
 //! connections — steady-state VA growth is zero.
 
+use dangle_bench::Artifact;
 use dangle_interp::backend::ShadowPoolBackend;
+use dangle_telemetry::Json;
 use dangle_vmm::Machine;
 use dangle_workloads::servers::{Ftpd, Ghttpd, Telnetd, Tftpd};
 use dangle_workloads::Workload;
@@ -62,6 +64,25 @@ fn main() {
         let b = consumed(&Tftpd { commands: 10, file_bytes: 12_000 });
         (b - a) as f64 / 8.0
     };
+
+    let server_row = |unit: &str, per_unit: f64, steady: f64| {
+        Json::Obj(vec![
+            ("unit".into(), Json::Str(unit.to_string())),
+            ("pages_per_unit".into(), Json::Float(per_unit)),
+            ("steady_state_growth".into(), Json::Float(steady)),
+        ])
+    };
+    let mut artifact = Artifact::new("wastage");
+    artifact.set(
+        "servers",
+        Json::Obj(vec![
+            ("ghttpd".into(), server_row("connection", ghttpd_1 as f64, ghttpd_steady)),
+            ("ftpd".into(), server_row("command", ftpd_cmd, ftpd_steady)),
+            ("telnetd".into(), server_row("session", telnetd_session as f64, telnetd_steady)),
+            ("tftpd".into(), server_row("command", tftpd_cmd as f64, tftpd_steady)),
+        ]),
+    );
+    artifact.write_cwd().expect("write BENCH artifact");
 
     println!("ghttpd : {ghttpd_1:>5} pages for a 1-connection process (1 allocation/conn)");
     println!("         steady-state growth {ghttpd_steady:.1} pages/connection (paper: no wastage)");

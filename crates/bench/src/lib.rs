@@ -20,8 +20,11 @@ use dangle_interp::backend::{
     Backend, CapabilityBackend, EFenceBackend, MemcheckBackend, NativeBackend, PoolBackend,
     ShadowBackend, ShadowPoolBackend,
 };
+use dangle_telemetry::{Json, MetricsSnapshot};
 use dangle_vmm::{Machine, MachineConfig, MachineStats};
 use dangle_workloads::Workload;
+
+pub use dangle_telemetry::Artifact;
 
 /// The measurement configurations of Tables 1 and 3, plus the baseline
 /// detectors for Table 2 and the related-work comparisons.
@@ -65,6 +68,21 @@ impl Config {
         }
     }
 
+    /// Machine-readable key used in `BENCH_*.json` artifacts.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Config::Native => "native",
+            Config::Base => "base",
+            Config::Pa => "pa",
+            Config::PaDummy => "pa_dummy",
+            Config::Ours => "ours",
+            Config::ShadowOnly => "shadow_only",
+            Config::EFence => "efence",
+            Config::Memcheck => "memcheck",
+            Config::Capability => "capability",
+        }
+    }
+
     /// Instantiates the scheme.
     pub fn backend(&self) -> Box<dyn Backend> {
         match self {
@@ -81,7 +99,7 @@ impl Config {
 }
 
 /// One measured run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Measurement {
     /// Simulated cycles consumed.
     pub cycles: u64,
@@ -89,6 +107,78 @@ pub struct Measurement {
     pub checksum: u64,
     /// Machine counters at completion.
     pub stats: MachineStats,
+    /// Full telemetry snapshot (event counters, pool/core/gc metrics, and
+    /// the derived `vmm.*` gauges) at completion.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Measurement {
+    /// The standard JSON view of one run, embedded in every artifact row:
+    /// cycles, syscall counts by kind, TLB hit/miss counts, access counts,
+    /// memory high-water marks, and the raw metrics snapshot.
+    pub fn to_json(&self) -> Json {
+        let s = &self.stats;
+        Json::Obj(vec![
+            ("cycles".into(), Json::from_u64(self.cycles)),
+            ("checksum".into(), Json::from_u64(self.checksum)),
+            (
+                "syscalls".into(),
+                Json::Obj(vec![
+                    ("mmap".into(), Json::from_u64(s.mmap_calls)),
+                    ("mremap".into(), Json::from_u64(s.mremap_calls)),
+                    ("mprotect".into(), Json::from_u64(s.mprotect_calls)),
+                    ("munmap".into(), Json::from_u64(s.munmap_calls)),
+                    ("dummy".into(), Json::from_u64(s.dummy_calls)),
+                    ("total".into(), Json::from_u64(s.total_syscalls())),
+                ]),
+            ),
+            (
+                "tlb".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::from_u64(self.metrics.counter("vmm.tlb_hits"))),
+                    ("misses".into(), Json::from_u64(self.metrics.counter("vmm.tlb_misses"))),
+                ]),
+            ),
+            (
+                "accesses".into(),
+                Json::Obj(vec![
+                    ("loads".into(), Json::from_u64(s.loads)),
+                    ("stores".into(), Json::from_u64(s.stores)),
+                ]),
+            ),
+            (
+                "memory".into(),
+                Json::Obj(vec![
+                    ("virt_pages_consumed".into(), Json::from_u64(s.virt_pages_allocated)),
+                    ("virt_pages_mapped_peak".into(), Json::from_u64(s.virt_pages_mapped_peak)),
+                    ("phys_frames_peak".into(), Json::from_u64(s.phys_frames_peak)),
+                ]),
+            ),
+            ("traps".into(), Json::from_u64(s.traps)),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
+    }
+}
+
+/// The syscall/TLB decomposition of Tables 1 and 3: the `PA + dummy
+/// syscalls` configuration isolates the kernel-crossing share of the
+/// overhead; the remainder is TLB pressure.
+pub fn decomposition_json(
+    base: &Measurement,
+    pa_dummy: &Measurement,
+    ours: &Measurement,
+) -> Json {
+    let overhead = ours.cycles.saturating_sub(base.cycles);
+    let syscall_part = pa_dummy.cycles.saturating_sub(base.cycles).min(overhead);
+    let tlb_part = overhead - syscall_part;
+    let denom = overhead.max(1) as f64;
+    Json::Obj(vec![
+        ("overhead_cycles".into(), Json::from_u64(overhead)),
+        ("syscall_cycles".into(), Json::from_u64(syscall_part)),
+        ("tlb_cycles".into(), Json::from_u64(tlb_part)),
+        ("syscall_share".into(), Json::Float(syscall_part as f64 / denom)),
+        ("tlb_share".into(), Json::Float(tlb_part as f64 / denom)),
+    ])
 }
 
 /// Runs `workload` under `config` on a calibrated machine.
@@ -115,7 +205,12 @@ pub fn measure_with(
     let checksum = workload
         .run(&mut machine, backend.as_mut())
         .unwrap_or_else(|e| panic!("{} under {:?}: {e}", workload.name(), config));
-    Measurement { cycles: machine.clock(), checksum, stats: *machine.stats() }
+    Measurement {
+        cycles: machine.clock(),
+        checksum,
+        stats: *machine.stats(),
+        metrics: machine.metrics_snapshot(),
+    }
 }
 
 /// `a / b` as a ratio with two decimals.
@@ -188,6 +283,43 @@ mod tests {
         let r = ratio(ours.cycles, native.cycles);
         assert!(r >= 1.0, "detector cannot be free: {r}");
         assert!(r < 1.3, "server overhead must be small: {r}");
+    }
+
+    #[test]
+    fn measurement_json_carries_syscall_and_tlb_breakdown() {
+        let w = Ghttpd { connections: 2, response_bytes: 2000 };
+        let m = measure(&w, Config::Ours);
+        let j = m.to_json();
+        let text = j.to_string();
+        let parsed = Json::parse(&text).expect("measurement JSON parses back");
+        let sys = parsed.get("syscalls").expect("syscalls object");
+        let total = sys.get("total").and_then(Json::as_u64).unwrap();
+        assert_eq!(total, m.stats.total_syscalls());
+        assert_eq!(
+            sys.get("mremap").and_then(Json::as_u64).unwrap(),
+            m.stats.mremap_calls,
+        );
+        let tlb = parsed.get("tlb").expect("tlb object");
+        let hits = tlb.get("hits").and_then(Json::as_u64).unwrap();
+        let misses = tlb.get("misses").and_then(Json::as_u64).unwrap();
+        // Page-crossing accesses perform two lookups, so >= not ==.
+        assert!(hits + misses >= m.stats.loads + m.stats.stores);
+        assert!(misses > 0, "workload touches more pages than the TLB holds");
+        assert!(parsed.get("metrics").is_some(), "raw snapshot embedded");
+    }
+
+    #[test]
+    fn decomposition_splits_overhead_exactly() {
+        let w = Ghttpd { connections: 2, response_bytes: 2000 };
+        let base = measure(&w, Config::Base);
+        let pa_dummy = measure(&w, Config::PaDummy);
+        let ours = measure(&w, Config::Ours);
+        let d = decomposition_json(&base, &pa_dummy, &ours);
+        let overhead = d.get("overhead_cycles").and_then(Json::as_u64).unwrap();
+        let sys = d.get("syscall_cycles").and_then(Json::as_u64).unwrap();
+        let tlb = d.get("tlb_cycles").and_then(Json::as_u64).unwrap();
+        assert_eq!(sys + tlb, overhead, "decomposition must be exact");
+        assert_eq!(overhead, ours.cycles - base.cycles);
     }
 
     #[test]

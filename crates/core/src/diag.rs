@@ -7,7 +7,8 @@
 //! [`explain`](crate::ShadowHeap::explain) converts a [`Trap`] into a
 //! [`DanglingReport`].
 
-use dangle_vmm::{AccessKind, PageNum, Trap, VirtAddr};
+use dangle_telemetry::TrapReport;
+use dangle_vmm::{AccessKind, Machine, PageNum, Trap, VirtAddr};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -127,6 +128,34 @@ impl DanglingReport {
             sites.name(self.object.alloc_site),
             free_site,
         )
+    }
+
+    /// Builds the structured, JSON-serializable [`TrapReport`] for this
+    /// diagnosis: site names resolved through `sites`, the machine's clock
+    /// as the trap time, and the last `context_events` entries of the
+    /// machine's event ring as trailing context (GWP-ASan style).
+    pub fn to_telemetry(
+        &self,
+        sites: &SiteTable,
+        machine: &Machine,
+        use_site: &str,
+        context_events: usize,
+    ) -> TrapReport {
+        let free_site = match self.object.state {
+            ObjectState::Freed { free_site } => Some(sites.name(free_site).to_string()),
+            ObjectState::Live => None,
+        };
+        TrapReport {
+            kind: self.kind.to_string(),
+            fault_addr: self.fault_addr.raw(),
+            clock: machine.clock(),
+            object_base: self.object.base.raw(),
+            object_size: self.object.size as u64,
+            alloc_site: sites.name(self.object.alloc_site).to_string(),
+            free_site,
+            use_site: use_site.to_string(),
+            events: machine.telemetry().tail(context_events),
+        }
     }
 }
 

@@ -85,6 +85,7 @@ pub fn collect(
         }
     }
     if candidates.is_empty() {
+        machine.telemetry_mut().counter_add("gc.collections", 1);
         return report;
     }
 
@@ -131,6 +132,13 @@ pub fn collect(
             }
         }
     }
+
+    let t = machine.telemetry_mut();
+    t.counter_add("gc.collections", 1);
+    t.counter_add("gc.words_scanned", report.words_scanned);
+    t.counter_add("gc.pages_reclaimed", report.pages_reclaimed as u64);
+    t.counter_add("gc.spans_retained", report.spans_retained as u64);
+    t.observe("gc.pages_per_collection", report.pages_reclaimed as u64);
     report
 }
 

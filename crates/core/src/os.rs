@@ -16,7 +16,66 @@
 //! it in a forked child. The canonical offset is recycled freely — physical
 //! memory (the memfd pages) is shared and reused exactly as §3.2 promises.
 
+use self::ffi as libc;
 use std::io;
+
+/// Minimal local bindings for the handful of POSIX calls this module needs.
+/// The workspace builds offline, so the `libc` crate is not available; the
+/// symbols below come straight from the C library every Rust binary on
+/// Linux already links against. Public so the `os_demo` example can fork
+/// and observe the real SIGSEGV through the same bindings.
+#[allow(non_camel_case_types, non_upper_case_globals, non_snake_case)]
+pub mod ffi {
+    pub use std::ffi::{c_int, c_long, c_void};
+
+    pub type off_t = i64;
+    pub type pid_t = c_int;
+
+    pub const PROT_NONE: c_int = 0;
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_SHARED: c_int = 1;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+    pub const _SC_PAGESIZE: c_int = 30;
+    pub const SIGSEGV: c_int = 11;
+
+    #[cfg(target_arch = "x86_64")]
+    pub const SYS_memfd_create: c_long = 319;
+    #[cfg(target_arch = "aarch64")]
+    pub const SYS_memfd_create: c_long = 279;
+    #[cfg(target_arch = "riscv64")]
+    pub const SYS_memfd_create: c_long = 279;
+
+    extern "C" {
+        pub fn syscall(num: c_long, ...) -> c_long;
+        pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: off_t,
+        ) -> *mut c_void;
+        pub fn mprotect(addr: *mut c_void, len: usize, prot: c_int) -> c_int;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn sysconf(name: c_int) -> c_long;
+        pub fn fork() -> pid_t;
+        pub fn _exit(status: c_int) -> !;
+        pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    }
+
+    /// `WIFSIGNALED` from `<sys/wait.h>` (glibc encoding).
+    pub fn WIFSIGNALED(status: c_int) -> bool {
+        ((status & 0x7f) + 1) >> 1 > 0
+    }
+
+    /// `WTERMSIG` from `<sys/wait.h>`.
+    pub fn WTERMSIG(status: c_int) -> c_int {
+        status & 0x7f
+    }
+}
 
 /// A real-OS allocation: a shadow view of canonical memfd pages.
 #[derive(Debug)]

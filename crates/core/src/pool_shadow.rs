@@ -17,7 +17,9 @@
 //! measurements show is tiny for real servers.
 
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
+use crate::shadow::TRAP_CONTEXT_EVENTS;
 use dangle_heap::{AllocError, AllocStats};
+use dangle_telemetry::{EventKind, TrapReport};
 use dangle_pool::{PoolConfig, PoolError, PoolId, PoolSet};
 use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
 use std::collections::HashMap;
@@ -109,9 +111,16 @@ impl ShadowPool {
         let shadow_base = match self.pools.take_free_run(span) {
             Some(pg) => {
                 machine.alias_fixed(canon_page.base(), pg.base(), span)?;
+                machine.note_event(pg.base(), EventKind::FreeListHit { pages: span as u32 });
+                machine.telemetry_mut().counter_add("pool.pages_recycled", span as u64);
                 pg.base()
             }
-            None => machine.mremap_alias(canon_page.base(), span)?,
+            None => {
+                let base = machine.mremap_alias(canon_page.base(), span)?;
+                machine.note_event(base, EventKind::FreeListMiss { pages: span as u32 });
+                machine.telemetry_mut().counter_add("pool.pages_fresh", span as u64);
+                base
+            }
         };
         let pages: Vec<PageNum> =
             (0..span as u64).map(|i| shadow_base.page().add(i)).collect();
@@ -172,6 +181,7 @@ impl ShadowPool {
         let total = self.pools.size_of(machine, canon_hidden)?;
         let span = hidden.span_pages(total);
         machine.mprotect(hidden.page().base(), span, Protection::None)?;
+        machine.telemetry_mut().counter_add("core.pages_protected", span as u64);
         self.pools.free(machine, pool, canon_hidden)?;
         self.registry.mark_freed(addr, site);
         self.freed
@@ -214,6 +224,18 @@ impl ShadowPool {
     /// Attributes a program-level MMU trap to the freed object it hit.
     pub fn explain(&self, trap: &Trap) -> Option<DanglingReport> {
         self.registry.explain(trap, false)
+    }
+
+    /// [`ShadowPool::explain`], but producing the structured JSON-ready
+    /// [`TrapReport`] with the machine's trailing event-ring context.
+    pub fn trap_report(
+        &self,
+        machine: &Machine,
+        trap: &Trap,
+        use_site: &str,
+    ) -> Option<TrapReport> {
+        let report = self.explain(trap)?;
+        Some(report.to_telemetry(&self.sites, machine, use_site, TRAP_CONTEXT_EVENTS))
     }
 
     /// The object record owning `addr`, if tracked (live or freed). Used

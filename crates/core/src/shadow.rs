@@ -26,12 +26,16 @@
 
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
 use dangle_heap::{AllocError, AllocStats, Allocator, SysHeap};
+use dangle_telemetry::TrapReport;
 use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
 #[cfg(test)]
 use dangle_vmm::PAGE_SIZE;
 
 /// The hidden word prepended to every allocation (`sizeof(addr_t)`).
 pub const SHADOW_WORD: usize = 8;
+
+/// How many trailing ring events a [`TrapReport`] carries as context.
+pub const TRAP_CONTEXT_EVENTS: usize = 16;
 
 /// Configuration of a [`ShadowHeap`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -128,6 +132,18 @@ impl<A: Allocator> ShadowHeap<A> {
         self.registry.explain(trap, false)
     }
 
+    /// [`ShadowHeap::explain`], but producing the structured JSON-ready
+    /// [`TrapReport`] with the machine's trailing event-ring context.
+    pub fn trap_report(
+        &self,
+        machine: &Machine,
+        trap: &Trap,
+        use_site: &str,
+    ) -> Option<TrapReport> {
+        let report = self.explain(trap)?;
+        Some(report.to_telemetry(&self.sites, machine, use_site, TRAP_CONTEXT_EVENTS))
+    }
+
     /// The object record owning `addr`, if tracked.
     pub fn object_at(&self, addr: VirtAddr) -> Option<&crate::diag::ObjectRecord> {
         self.registry.lookup(addr)
@@ -171,6 +187,7 @@ impl<A: Allocator> ShadowHeap<A> {
             match self.recycled.pop() {
                 Some(pg) => {
                     machine.alias_fixed(canon_page.base(), pg.base(), 1)?;
+                    machine.telemetry_mut().counter_add("core.shadow_pages_recycled", 1);
                     pg.base()
                 }
                 None => machine.mremap_alias(canon_page.base(), span)?,
@@ -178,6 +195,7 @@ impl<A: Allocator> ShadowHeap<A> {
         } else {
             machine.mremap_alias(canon_page.base(), span)?
         };
+        machine.telemetry_mut().counter_add("core.shadow_pages", span as u64);
         let shadow_hidden = shadow_base.add(canon.offset() as u64);
         machine.store_u64(shadow_hidden, canon_page.base().raw())?;
         let user = shadow_hidden.add(SHADOW_WORD as u64);
@@ -221,6 +239,7 @@ impl<A: Allocator> ShadowHeap<A> {
         let total = self.inner.size_of(machine, canon_hidden)?;
         let span = hidden.span_pages(total);
         machine.mprotect(hidden.page().base(), span, Protection::None)?;
+        machine.telemetry_mut().counter_add("core.pages_protected", span as u64);
         self.inner.free(machine, canon_hidden)?;
         self.registry.mark_freed(addr, site);
         self.freed_spans.push((hidden.page(), span));
@@ -318,6 +337,36 @@ mod tests {
         assert_eq!(report.object.state, ObjectState::Freed { free_site: site_f });
         let text = report.render(h.sites());
         assert!(text.contains("make_node") && text.contains("drop_node"), "{text}");
+    }
+
+    #[test]
+    fn trap_report_serializes_with_event_context() {
+        use dangle_telemetry::{EventKind, Json};
+        let (mut m, mut h) = setup();
+        let site_a = h.sites_mut().intern("parse_header:malloc");
+        let site_f = h.sites_mut().intern("reset_session:free");
+        let p = h.alloc_at(&mut m, 48, site_a).unwrap();
+        h.free_at(&mut m, p, site_f).unwrap();
+
+        let trap = m.load_u64(p).unwrap_err();
+        let report = h.trap_report(&m, &trap, "event_loop:read").unwrap();
+        assert_eq!(report.kind, "dangling read");
+        assert_eq!(report.alloc_site, "parse_header:malloc");
+        assert_eq!(report.free_site.as_deref(), Some("reset_session:free"));
+        assert_eq!(report.use_site, "event_loop:read");
+        assert_eq!(report.object_size, 48);
+        // The ring context ends with the trap itself, preceded by the
+        // mprotect of the free.
+        let last = report.events.last().unwrap();
+        assert_eq!(last.kind, EventKind::Trap);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Mprotect { .. })));
+        // Full JSON round trip.
+        let text = report.to_json().pretty();
+        let parsed = TrapReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::header::HEADER_SIZE;
 use crate::{AllocError, AllocStats, Allocator};
+use dangle_telemetry::EventKind;
 use dangle_vmm::{Machine, VirtAddr, PAGE_SIZE};
 
 /// Smallest block: `2^MIN_ORDER` = 32 bytes (header + 24 usable).
@@ -168,7 +169,9 @@ impl Allocator for BuddyHeap {
         }
         machine.store_u64(block, pack(requested, order, true))?;
         self.stats.note_alloc(requested);
-        Ok(block.add(HEADER_SIZE as u64))
+        let payload = block.add(HEADER_SIZE as u64);
+        machine.note_event(payload, EventKind::Alloc { bytes: requested as u32 });
+        Ok(payload)
     }
 
     fn free(&mut self, machine: &mut Machine, addr: VirtAddr) -> Result<(), AllocError> {
@@ -194,6 +197,7 @@ impl Allocator for BuddyHeap {
         }
         self.push_free(machine, order, block)?;
         self.stats.note_free(requested);
+        machine.note_event(addr, EventKind::Free { bytes: requested as u32 });
         Ok(())
     }
 
@@ -318,33 +322,41 @@ mod tests {
     }
 }
 
+
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_rng::TestRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Random traffic never overlaps live blocks, preserves data, and
-        /// frees always coalesce back to a fully usable arena.
-        #[test]
-        fn buddy_integrity(ops in prop::collection::vec((1usize..3000, any::<bool>(), any::<u8>()), 1..100)) {
+    /// Random traffic never overlaps live blocks, preserves data, and frees
+    /// always coalesce back to a fully usable arena.
+    #[test]
+    fn buddy_integrity() {
+        for case in 0..48u64 {
+            let mut rng = TestRng::new(0xb0d_0001 + case * 0x9e37_79b9);
+            let nops = 1 + rng.below(99) as usize;
             let mut m = Machine::free_running();
             let mut h = BuddyHeap::with_arena_order(18);
             let mut live: Vec<(VirtAddr, usize, u8)> = Vec::new();
-            for (size, do_free, seed) in ops {
+            for _ in 0..nops {
+                let size = rng.range(1, 3000) as usize;
+                let do_free = rng.chance(1, 2);
+                let seed = rng.below(256) as u8;
                 if do_free && !live.is_empty() {
                     let (p, len, s) = live.swap_remove(seed as usize % live.len());
                     for i in 0..len.min(16) {
-                        prop_assert_eq!(m.load_u8(p.add(i as u64)).unwrap(), s.wrapping_add(i as u8));
+                        assert_eq!(
+                            m.load_u8(p.add(i as u64)).unwrap(),
+                            s.wrapping_add(i as u8),
+                            "case {case}"
+                        );
                     }
                     h.free(&mut m, p).unwrap();
                 } else if let Ok(p) = h.alloc(&mut m, size) {
                     for &(q, qlen, _) in &live {
                         let disjoint = p.raw() + size as u64 <= q.raw()
                             || q.raw() + qlen as u64 <= p.raw();
-                        prop_assert!(disjoint);
+                        assert!(disjoint, "case {case}");
                     }
                     for i in 0..size.min(16) {
                         m.store_u8(p.add(i as u64), seed.wrapping_add(i as u8)).unwrap();

@@ -23,6 +23,8 @@
 pub mod buddy;
 pub mod header;
 pub mod sys;
+#[cfg(test)]
+pub(crate) mod test_rng;
 
 pub use buddy::BuddyHeap;
 pub use sys::SysHeap;

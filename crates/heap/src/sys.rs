@@ -27,6 +27,7 @@
 
 use crate::header::{self, HEADER_SIZE, SIZE_CLASSES};
 use crate::{AllocError, AllocStats, Allocator};
+use dangle_telemetry::EventKind;
 use dangle_vmm::{Machine, VirtAddr, PAGE_SIZE};
 
 use header::{header_capacity, header_in_use, header_requested, pack_header};
@@ -118,6 +119,7 @@ impl Allocator for SysHeap {
             None => self.alloc_large(machine, requested)?,
         };
         self.stats.note_alloc(requested);
+        machine.note_event(payload, EventKind::Alloc { bytes: requested as u32 });
         Ok(payload)
     }
 
@@ -149,6 +151,7 @@ impl Allocator for SysHeap {
             }
         }
         self.stats.note_free(requested);
+        machine.note_event(addr, EventKind::Free { bytes: requested as u32 });
         Ok(())
     }
 
@@ -329,83 +332,95 @@ mod tests {
     }
 }
 
+
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use crate::test_rng::TestRng;
 
-    #[derive(Clone, Debug)]
-    enum Op {
-        Alloc(usize),
-        /// Free the i-th (mod len) live allocation.
-        Free(usize),
-    }
-
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            3 => (1usize..10_000).prop_map(Op::Alloc),
-            2 => (0usize..64).prop_map(Op::Free),
-        ]
-    }
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Under any alloc/free sequence: live allocations never overlap,
-        /// each carries its pattern intact, and stats stay consistent.
-        #[test]
-        fn allocator_integrity(ops in prop::collection::vec(op_strategy(), 1..120)) {
+    /// Under any alloc/free sequence: live allocations never overlap, each
+    /// carries its pattern intact, and stats stay consistent.
+    #[test]
+    fn allocator_integrity() {
+        for case in 0..64u64 {
+            let mut rng = TestRng::new(0x5e9_0001 + case * 0x9e37_79b9);
+            let nops = 1 + rng.below(119) as usize;
             let mut m = Machine::free_running();
             let mut h = SysHeap::new();
             // live: (addr, size, seed)
             let mut live: Vec<(VirtAddr, usize, u8)> = Vec::new();
             let mut seed = 0u8;
-            for op in ops {
-                match op {
-                    Op::Alloc(size) => {
-                        seed = seed.wrapping_add(41);
-                        let p = h.alloc(&mut m, size).unwrap();
-                        // No overlap with any live object.
-                        for &(q, qs, _) in &live {
-                            let disjoint = p.raw() + size as u64 <= q.raw()
-                                || q.raw() + qs as u64 <= p.raw();
-                            prop_assert!(disjoint, "{p:?}+{size} overlaps {q:?}+{qs}");
-                        }
-                        // Fill with a recognizable pattern.
-                        for i in 0..size.min(64) {
-                            m.store_u8(p.add(i as u64), seed.wrapping_add(i as u8)).unwrap();
-                        }
-                        live.push((p, size, seed));
+            for _ in 0..nops {
+                if rng.chance(3, 5) {
+                    let size = rng.range(1, 10_000) as usize;
+                    seed = seed.wrapping_add(41);
+                    let p = h.alloc(&mut m, size).unwrap();
+                    // No overlap with any live object.
+                    for &(q, qs, _) in &live {
+                        let disjoint = p.raw() + size as u64 <= q.raw()
+                            || q.raw() + qs as u64 <= p.raw();
+                        assert!(disjoint, "case {case}: {p:?}+{size} overlaps {q:?}+{qs}");
                     }
-                    Op::Free(i) => {
-                        if live.is_empty() { continue; }
-                        let (p, size, s) = live.swap_remove(i % live.len());
-                        // Pattern still intact at free time.
-                        for i in 0..size.min(64) {
-                            prop_assert_eq!(
-                                m.load_u8(p.add(i as u64)).unwrap(),
-                                s.wrapping_add(i as u8)
-                            );
-                        }
-                        h.free(&mut m, p).unwrap();
+                    // Fill with a recognizable pattern.
+                    for i in 0..size.min(64) {
+                        m.store_u8(p.add(i as u64), seed.wrapping_add(i as u8)).unwrap();
                     }
+                    live.push((p, size, seed));
+                } else {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = rng.below(64) as usize % live.len();
+                    let (p, size, s) = live.swap_remove(i);
+                    // Pattern still intact at free time.
+                    for i in 0..size.min(64) {
+                        assert_eq!(
+                            m.load_u8(p.add(i as u64)).unwrap(),
+                            s.wrapping_add(i as u8),
+                            "case {case}"
+                        );
+                    }
+                    h.free(&mut m, p).unwrap();
                 }
             }
-            prop_assert_eq!(h.stats().live_objects as usize, live.len());
+            assert_eq!(h.stats().live_objects as usize, live.len(), "case {case}");
         }
+    }
 
-        /// size_of always reports the requested size for live objects.
-        #[test]
-        fn size_of_matches(sizes in prop::collection::vec(1usize..20_000, 1..40)) {
+    /// size_of always reports the requested size for live objects.
+    #[test]
+    fn size_of_matches() {
+        for case in 0..16u64 {
+            let mut rng = TestRng::new(0x517e_0000u64 + case);
             let mut m = Machine::free_running();
             let mut h = SysHeap::new();
-            let ptrs: Vec<_> = sizes
-                .iter()
-                .map(|&s| (h.alloc(&mut m, s).unwrap(), s))
+            let n = 1 + rng.below(39) as usize;
+            let ptrs: Vec<_> = (0..n)
+                .map(|_| {
+                    let s = rng.range(1, 20_000) as usize;
+                    (h.alloc(&mut m, s).unwrap(), s)
+                })
                 .collect();
             for (p, s) in ptrs {
-                prop_assert_eq!(h.size_of(&mut m, p).unwrap(), s);
+                assert_eq!(h.size_of(&mut m, p).unwrap(), s, "case {case}");
             }
         }
+    }
+
+    /// Telemetry sees exactly one Alloc and one Free event per operation.
+    #[test]
+    fn alloc_free_events_are_recorded() {
+        let mut m = Machine::free_running();
+        let mut h = SysHeap::new();
+        let p = h.alloc(&mut m, 48).unwrap();
+        let q = h.alloc(&mut m, 4096).unwrap();
+        h.free(&mut m, p).unwrap();
+        h.free(&mut m, q).unwrap();
+        let t = m.telemetry();
+        assert_eq!(t.counter("event.alloc"), 2);
+        assert_eq!(t.counter("event.free"), 2);
+        let kinds: Vec<_> = t.ring().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Alloc { bytes: 48 }));
+        assert!(kinds.contains(&EventKind::Free { bytes: 4096 }));
     }
 }

@@ -1,0 +1,33 @@
+//! Deterministic xorshift64* generator shared by the randomized allocator
+//! tests (the build environment is offline, so no external property-testing
+//! crate; seeds are printed in every assertion message instead of shrunk).
+
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed.max(1))
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}

@@ -21,6 +21,7 @@ use dangle_baselines::{CapabilityChecker, CheckError, CheckedMemory, EFence, Mem
 use dangle_core::{ShadowHeap, ShadowPool};
 use dangle_heap::{AllocError, Allocator, SysHeap};
 use dangle_pool::{PoolError, PoolId, PoolSet};
+use dangle_telemetry::EventKind;
 use dangle_vmm::{Machine, Trap, VirtAddr};
 use std::error::Error;
 use std::fmt;
@@ -361,9 +362,10 @@ impl Backend for PoolBackend {
 
     fn pool_create(
         &mut self,
-        _machine: &mut Machine,
+        machine: &mut Machine,
         elem_hint: usize,
     ) -> Result<PoolHandle, BackendError> {
+        machine.note_event(VirtAddr::NULL, EventKind::PoolCreate);
         Ok(self.pools.create(elem_hint).0)
     }
 
@@ -573,9 +575,10 @@ impl Backend for ShadowPoolBackend {
 
     fn pool_create(
         &mut self,
-        _machine: &mut Machine,
+        machine: &mut Machine,
         elem_hint: usize,
     ) -> Result<PoolHandle, BackendError> {
+        machine.note_event(VirtAddr::NULL, EventKind::PoolCreate);
         Ok(self.detector.create(elem_hint).0)
     }
 

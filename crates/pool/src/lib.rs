@@ -29,6 +29,7 @@
 
 use dangle_heap::header::{self, HEADER_SIZE, SIZE_CLASSES};
 use dangle_heap::{AllocError, AllocStats};
+use dangle_telemetry::EventKind;
 use dangle_vmm::{Machine, PageNum, Trap, VirtAddr, PAGE_SIZE};
 use std::error::Error;
 use std::fmt;
@@ -131,21 +132,6 @@ struct Pool {
     destroyed: bool,
 }
 
-/// Aggregate counters for a [`PoolSet`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PoolSetStats {
-    /// Pools created with [`PoolSet::create`].
-    pub pools_created: u64,
-    /// Pools destroyed with [`PoolSet::destroy`].
-    pub pools_destroyed: u64,
-    /// Pages recycled from the shared free list.
-    pub pages_recycled: u64,
-    /// Pages obtained fresh from `mmap`.
-    pub pages_fresh: u64,
-    /// Pages returned to the shared free list by `pooldestroy`.
-    pub pages_released: u64,
-}
-
 /// The pool runtime: all pools of one program plus the shared page free
 /// list. See the [module docs](self).
 ///
@@ -172,7 +158,6 @@ pub struct PoolSet {
     /// virtual addresses too, not just single pages.
     free_runs: Vec<(PageNum, u32)>,
     config: PoolConfig,
-    stats: PoolSetStats,
 }
 
 impl PoolSet {
@@ -200,7 +185,6 @@ impl PoolSet {
             stats: AllocStats::default(),
             destroyed: false,
         });
-        self.stats.pools_created += 1;
         id
     }
 
@@ -230,7 +214,6 @@ impl PoolSet {
         } else {
             self.free_runs[i] = (base.add(n as u64), len - n as u32);
         }
-        self.stats.pages_recycled += n as u64;
         Some(base)
     }
 
@@ -240,7 +223,6 @@ impl PoolSet {
         if !self.config.reuse_pages || len == 0 {
             return;
         }
-        self.stats.pages_released += len as u64;
         // Cheap merge with the most recently released neighbour.
         if let Some(last) = self.free_runs.last_mut() {
             if last.0.add(last.1 as u64) == base {
@@ -252,13 +234,15 @@ impl PoolSet {
     }
 
     /// Releases a set of pages: sorts, coalesces consecutive pages into
-    /// runs, and pushes the runs onto the shared free list.
-    fn release_pages(&mut self, mut pages: Vec<PageNum>) {
+    /// runs, and pushes the runs onto the shared free list. Returns the
+    /// number of distinct pages released.
+    fn release_pages(&mut self, mut pages: Vec<PageNum>) -> u64 {
         if !self.config.reuse_pages || pages.is_empty() {
-            return;
+            return 0;
         }
         pages.sort_unstable();
         pages.dedup();
+        let released = pages.len() as u64;
         let mut run_base = pages[0];
         let mut run_len = 1u32;
         for &pg in &pages[1..] {
@@ -271,6 +255,7 @@ impl PoolSet {
             }
         }
         self.release_run(run_base, run_len);
+        released
     }
 
     /// Obtains `n` contiguous virtual pages: recycled from the shared free
@@ -279,10 +264,14 @@ impl PoolSet {
     fn acquire_run(&mut self, machine: &mut Machine, n: usize) -> Result<VirtAddr, PoolError> {
         if let Some(base) = self.take_free_run(n) {
             machine.mmap_fixed(base.base(), n)?;
+            machine.note_event(base.base(), EventKind::FreeListHit { pages: n as u32 });
+            machine.telemetry_mut().counter_add("pool.pages_recycled", n as u64);
             return Ok(base.base());
         }
-        self.stats.pages_fresh += n as u64;
-        Ok(machine.mmap(n)?)
+        let fresh = machine.mmap(n)?;
+        machine.note_event(fresh, EventKind::FreeListMiss { pages: n as u32 });
+        machine.telemetry_mut().counter_add("pool.pages_fresh", n as u64);
+        Ok(fresh)
     }
 
     fn acquire_page(&mut self, machine: &mut Machine) -> Result<VirtAddr, PoolError> {
@@ -439,10 +428,11 @@ impl PoolSet {
         pages.append(&mut std::mem::take(&mut p.extra_pages));
         p.classes = Default::default();
         p.large_free.clear();
-        if reuse {
-            self.release_pages(pages);
-        }
-        self.stats.pools_destroyed += 1;
+        let released = if reuse { self.release_pages(pages) } else { 0 };
+        machine.note_event(VirtAddr::NULL, EventKind::PoolDestroy);
+        machine.telemetry_mut().counter_add("pool.pages_released", released);
+        // Per-pool wastage series: how many pages each pool held at death.
+        machine.telemetry_mut().observe("pool.pages_at_destroy", released);
         Ok(())
     }
 
@@ -547,9 +537,14 @@ impl PoolSet {
         Ok(&self.pool(pool)?.pages)
     }
 
-    /// Aggregate counters.
-    pub fn stats(&self) -> PoolSetStats {
-        self.stats
+    /// Pools ever created (tombstones included — ids are never reused).
+    pub fn pools_created(&self) -> u64 {
+        self.pools.len() as u64
+    }
+
+    /// Pools destroyed so far.
+    pub fn pools_destroyed(&self) -> u64 {
+        self.pools.iter().filter(|p| p.destroyed).count() as u64
     }
 
     /// The configuration this set was created with.
@@ -643,7 +638,7 @@ mod tests {
         let p2 = ps.create(16);
         let b = ps.alloc(&mut m, p2, 16).unwrap();
         assert_eq!(b.page(), a_page, "virtual page recycled from the free list");
-        assert_eq!(ps.stats().pages_recycled, 1);
+        assert_eq!(m.telemetry().counter("pool.pages_recycled"), 1);
         // Recycled page reads as zero (fresh frame).
         assert_eq!(m.load_u64(b).unwrap(), 0);
     }
@@ -835,18 +830,57 @@ mod tests {
         assert_eq!(s.allocs, 1);
         assert_eq!(s.frees, 1);
         ps.destroy(&mut m, pp).unwrap();
-        assert_eq!(ps.stats().pools_created, 1);
-        assert_eq!(ps.stats().pools_destroyed, 1);
-        assert!(ps.stats().pages_released >= 1);
+        assert_eq!(ps.pools_created(), 1);
+        assert_eq!(ps.pools_destroyed(), 1);
+        assert!(m.telemetry().counter("pool.pages_released") >= 1);
+        assert_eq!(m.telemetry().counter("event.pool_destroy"), 1);
+        // The per-pool wastage histogram saw exactly this pool's death.
+        let snap = m.telemetry().snapshot();
+        let hist = snap.histograms.iter().find(|h| h.name == "pool.pages_at_destroy").unwrap();
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn free_list_hit_and_miss_events() {
+        let (mut m, mut ps) = setup();
+        let p1 = ps.create(16);
+        ps.alloc(&mut m, p1, 16).unwrap(); // miss: fresh page
+        ps.destroy(&mut m, p1).unwrap();
+        let p2 = ps.create(16);
+        ps.alloc(&mut m, p2, 16).unwrap(); // hit: recycled page
+        assert_eq!(m.telemetry().counter("event.free_list_miss"), 1);
+        assert_eq!(m.telemetry().counter("event.free_list_hit"), 1);
+        assert_eq!(m.telemetry().counter("pool.pages_fresh"), 1);
+        assert_eq!(m.telemetry().counter("pool.pages_recycled"), 1);
     }
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
 
-    #[derive(Clone, Debug)]
+    /// Deterministic xorshift64* generator (offline build: no proptest).
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn new(seed: u64) -> TestRng {
+            TestRng(seed.max(1))
+        }
+
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
     enum Op {
         Create,
         Alloc { pool: usize, size: usize },
@@ -854,26 +888,27 @@ mod proptests {
         Destroy { pool: usize },
     }
 
-    fn ops() -> impl Strategy<Value = Vec<Op>> {
-        prop::collection::vec(
-            prop_oneof![
-                1 => Just(Op::Create),
-                4 => (0usize..8, 1usize..6000).prop_map(|(pool, size)| Op::Alloc { pool, size }),
-                2 => (0usize..8, 0usize..32).prop_map(|(pool, idx)| Op::Free { pool, idx }),
-                1 => (0usize..8).prop_map(|pool| Op::Destroy { pool }),
-            ],
-            1..100,
-        )
+    /// Mirrors the old proptest weighting 1:4:2:1.
+    fn random_op(rng: &mut TestRng) -> Op {
+        match rng.below(8) {
+            0 => Op::Create,
+            1..=4 => Op::Alloc {
+                pool: rng.below(8) as usize,
+                size: 1 + rng.below(5999) as usize,
+            },
+            5 | 6 => Op::Free { pool: rng.below(8) as usize, idx: rng.below(32) as usize },
+            _ => Op::Destroy { pool: rng.below(8) as usize },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Random pool traffic: live objects across *all* pools never
-        /// overlap and always carry their data; destroyed pools reject
-        /// operations; page recycling never corrupts a live object.
-        #[test]
-        fn pool_integrity(script in ops()) {
+    /// Random pool traffic: live objects across *all* pools never overlap
+    /// and always carry their data; destroyed pools reject operations; page
+    /// recycling never corrupts a live object.
+    #[test]
+    fn pool_integrity() {
+        for case in 0..48u64 {
+            let mut rng = TestRng::new(0x9001_0001 + case * 0x9e37_79b9);
+            let nops = 1 + rng.below(99) as usize;
             let mut m = Machine::free_running();
             let mut ps = PoolSet::new();
             let mut pools: Vec<PoolId> = Vec::new();
@@ -882,24 +917,28 @@ mod proptests {
             let mut destroyed: Vec<bool> = Vec::new();
             let mut seed = 1u8;
 
-            for op in script {
-                match op {
+            for _ in 0..nops {
+                match random_op(&mut rng) {
                     Op::Create => {
                         pools.push(ps.create(16));
                         live.push(Vec::new());
                         destroyed.push(false);
                     }
                     Op::Alloc { pool, size } => {
-                        if pools.is_empty() { continue; }
+                        if pools.is_empty() {
+                            continue;
+                        }
                         let pi = pool % pools.len();
-                        if destroyed[pi] { continue; }
+                        if destroyed[pi] {
+                            continue;
+                        }
                         seed = seed.wrapping_add(37);
                         let p = ps.alloc(&mut m, pools[pi], size).unwrap();
                         for objs in &live {
                             for &(q, qs, _) in objs {
                                 let disjoint = p.raw() + size as u64 <= q.raw()
                                     || q.raw() + qs as u64 <= p.raw();
-                                prop_assert!(disjoint, "overlap across pools");
+                                assert!(disjoint, "case {case}: overlap across pools");
                             }
                         }
                         for i in 0..size.min(32) {
@@ -908,24 +947,32 @@ mod proptests {
                         live[pi].push((p, size, seed));
                     }
                     Op::Free { pool, idx } => {
-                        if pools.is_empty() { continue; }
+                        if pools.is_empty() {
+                            continue;
+                        }
                         let pi = pool % pools.len();
-                        if destroyed[pi] || live[pi].is_empty() { continue; }
+                        if destroyed[pi] || live[pi].is_empty() {
+                            continue;
+                        }
                         let n = live[pi].len();
                         let (p, size, s) = live[pi].swap_remove(idx % n);
                         for i in 0..size.min(32) {
-                            prop_assert_eq!(
+                            assert_eq!(
                                 m.load_u8(p.add(i as u64)).unwrap(),
                                 s.wrapping_add(i as u8),
-                                "data intact until free"
+                                "case {case}: data intact until free"
                             );
                         }
                         ps.free(&mut m, pools[pi], p).unwrap();
                     }
                     Op::Destroy { pool } => {
-                        if pools.is_empty() { continue; }
+                        if pools.is_empty() {
+                            continue;
+                        }
                         let pi = pool % pools.len();
-                        if destroyed[pi] { continue; }
+                        if destroyed[pi] {
+                            continue;
+                        }
                         ps.destroy(&mut m, pools[pi]).unwrap();
                         destroyed[pi] = true;
                         live[pi].clear();
@@ -934,16 +981,26 @@ mod proptests {
             }
             // Final integrity sweep.
             for (pi, objs) in live.iter().enumerate() {
-                if destroyed[pi] { continue; }
+                if destroyed[pi] {
+                    continue;
+                }
                 for &(p, size, s) in objs {
                     for i in 0..size.min(32) {
-                        prop_assert_eq!(
+                        assert_eq!(
                             m.load_u8(p.add(i as u64)).unwrap(),
-                            s.wrapping_add(i as u8)
+                            s.wrapping_add(i as u8),
+                            "case {case}"
                         );
                     }
                 }
             }
+            // Telemetry bookkeeping stays coherent with the derived counts.
+            assert_eq!(ps.pools_created(), pools.len() as u64, "case {case}");
+            assert_eq!(
+                ps.pools_destroyed(),
+                destroyed.iter().filter(|d| **d).count() as u64,
+                "case {case}"
+            );
         }
     }
 }

@@ -1,0 +1,109 @@
+//! `BENCH_<name>.json` artifacts — the machine-readable side of every
+//! bench binary.
+//!
+//! Each binary builds one [`Artifact`], attaches its per-configuration
+//! rows and decompositions, and writes `BENCH_<name>.json` next to the
+//! working directory. Subsequent perf PRs regress against these files;
+//! the schema is append-only.
+
+use crate::json::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A named, ordered JSON object destined for `BENCH_<name>.json`.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    name: String,
+    fields: Vec<(String, Json)>,
+}
+
+impl Artifact {
+    /// Starts an artifact for benchmark `name` (`table1`, `wastage`, …).
+    /// The schema version is stamped first so future PRs can evolve it.
+    pub fn new(name: &str) -> Self {
+        Artifact {
+            name: name.to_string(),
+            fields: vec![
+                ("benchmark".into(), Json::Str(name.to_string())),
+                ("schema_version".into(), Json::Int(1)),
+            ],
+        }
+    }
+
+    /// The benchmark name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends (or replaces) a top-level field.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Self {
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// The artifact as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.fields.clone())
+    }
+
+    /// The file name this artifact writes to: `BENCH_<name>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Writes `BENCH_<name>.json` under `dir`, pretty-printed. Returns the
+    /// path written.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from `std::fs::write`.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+
+    /// Writes the artifact into the current working directory and prints a
+    /// one-line pointer, as every bench binary does after its table.
+    ///
+    /// # Errors
+    /// As for [`Artifact::write_to`].
+    pub fn write_cwd(&self) -> io::Result<PathBuf> {
+        let path = self.write_to(Path::new("."))?;
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_carries_name_and_schema() {
+        let mut a = Artifact::new("table1");
+        a.set("rows", Json::Arr(vec![]));
+        a.set("rows", Json::Arr(vec![Json::Int(1)]));
+        let j = a.to_json();
+        assert_eq!(j.get("benchmark").and_then(Json::as_str), Some("table1"));
+        assert_eq!(j.get("schema_version").and_then(Json::as_i64), Some(1));
+        assert_eq!(j.get("rows").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(a.file_name(), "BENCH_table1.json");
+    }
+
+    #[test]
+    fn write_to_produces_parseable_file() {
+        let dir = std::env::temp_dir().join("dangle-telemetry-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = Artifact::new("smoke");
+        a.set("value", Json::Float(1.5));
+        let path = a.write_to(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("value").and_then(Json::as_f64), Some(1.5));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,183 @@
+//! # dangle-telemetry — observability substrate for the detector stack
+//!
+//! The paper's whole evaluation is an observability exercise: Tables 1–3
+//! decompose overhead into a *system-call* component and a *TLB-miss*
+//! component, and §4.3 measures address-space wastage per connection. This
+//! crate gives every layer of the reproduction one API for producing those
+//! series, instead of ad-hoc counters scattered through `vmm`, `pool` and
+//! the bench binaries:
+//!
+//! * [`EventRing`] — a fixed-capacity, allocation-free ring buffer of
+//!   [`Event`]s (every simulated `mmap`/`mremap`/`mprotect`/`munmap`,
+//!   alloc/free, pool free-list hit/miss, and trap), timestamped on the
+//!   **simulated** clock. The last N events before a trap become the
+//!   GWP-ASan-style context of a [`TrapReport`].
+//! * [`MetricsRegistry`] — named counters and log₂-bucketed [`Histogram`]s
+//!   with cheap integer [`CounterHandle`]s for hot paths.
+//! * [`TrapReport`] — a structured dangling-use report (allocation site,
+//!   free site, use site, trailing event context) that serializes to JSON
+//!   and parses back.
+//! * [`Artifact`] — the `BENCH_<name>.json` export layer used by every
+//!   bench binary; subsequent perf PRs regress against these files.
+//!
+//! The whole crate is dependency-free (hand-rolled [`json`] layer) and
+//! near-zero cost when disabled: [`Telemetry::record`] is a single branch
+//! when [`TelemetryConfig::enabled`] is false.
+
+pub mod artifact;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod ring;
+
+pub use artifact::Artifact;
+pub use json::{Json, JsonError};
+pub use metrics::{
+    CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use report::TrapReport;
+pub use ring::{Event, EventKind, EventRing};
+
+/// Construction-time knobs for a [`Telemetry`] instance.
+///
+/// `Copy` so it can ride inside `MachineConfig` without breaking that
+/// struct's `Copy` bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. When false, [`Telemetry::record`] and counter updates
+    /// return after one branch — the no-op sink of the design notes.
+    pub enabled: bool,
+    /// Capacity of the event ring (events kept for trap context).
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { enabled: true, ring_capacity: 256 }
+    }
+}
+
+impl TelemetryConfig {
+    /// A configuration with everything off — the no-op sink.
+    pub fn disabled() -> Self {
+        TelemetryConfig { enabled: false, ring_capacity: 0 }
+    }
+}
+
+/// The per-machine telemetry sink: one event ring plus one metrics
+/// registry. Owned by `dangle_vmm::Machine`; every layer above reaches it
+/// through `machine.telemetry_mut()`.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    ring: EventRing,
+    metrics: MetricsRegistry,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    /// Builds a sink; the ring is allocated once here (recording never
+    /// allocates).
+    pub fn new(config: TelemetryConfig) -> Self {
+        let cap = if config.enabled { config.ring_capacity } else { 0 };
+        Telemetry { config, ring: EventRing::new(cap), metrics: MetricsRegistry::new() }
+    }
+
+    /// Is the sink live?
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Records one event at simulated time `clock`, and bumps the
+    /// per-kind event counter (`event.<kind>`) in the registry.
+    pub fn record(&mut self, clock: u64, addr: u64, kind: EventKind) {
+        if !self.config.enabled {
+            return;
+        }
+        self.ring.push(Event { clock, addr, kind });
+        self.metrics.add_named(kind.counter_name(), 1);
+    }
+
+    /// Adds to a named counter (registering it on first use).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if !self.config.enabled {
+            return;
+        }
+        self.metrics.add_named(name, delta);
+    }
+
+    /// Records one observation in a named log₂ histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if !self.config.enabled {
+            return;
+        }
+        self.metrics.observe_named(name, value);
+    }
+
+    /// Current value of a named counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter_value(name)
+    }
+
+    /// The event ring (read side).
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// The registry (read side).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The registry (write side) — for callers that want raw handles.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Copies the last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        self.ring.tail(n)
+    }
+
+    /// Point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut t = Telemetry::new(TelemetryConfig::disabled());
+        t.record(1, 0x40, EventKind::Mmap { pages: 4 });
+        t.counter_add("x", 9);
+        t.observe("h", 3);
+        assert!(!t.enabled());
+        assert_eq!(t.ring().len(), 0);
+        assert_eq!(t.counter("x"), 0);
+        assert!(t.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn record_bumps_per_kind_counter() {
+        let mut t = Telemetry::default();
+        t.record(5, 0x40, EventKind::Mmap { pages: 2 });
+        t.record(9, 0x80, EventKind::Mmap { pages: 1 });
+        t.record(12, 0x80, EventKind::Trap);
+        assert_eq!(t.counter("event.mmap"), 2);
+        assert_eq!(t.counter("event.trap"), 1);
+        assert_eq!(t.ring().len(), 3);
+        let tail = t.tail(2);
+        assert_eq!(tail[0].clock, 9);
+        assert_eq!(tail[1].clock, 12);
+    }
+}

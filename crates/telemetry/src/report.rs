@@ -1,0 +1,155 @@
+//! Structured trap reports — the GWP-ASan-style output of the detector.
+//!
+//! When the MMU catches a dangling use, `dangle-core` turns its
+//! `DanglingReport` (object provenance from the site-tagged registry) plus
+//! the tail of the machine's event ring into a [`TrapReport`], which
+//! serializes to JSON for log pipelines and parses back for tests.
+
+use crate::json::Json;
+use crate::ring::{Event, EventKind};
+
+/// Everything known about one detected dangling use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrapReport {
+    /// `"dangling read"`, `"dangling write"`, or `"double free"`.
+    pub kind: String,
+    /// The faulting (shadow) address.
+    pub fault_addr: u64,
+    /// Simulated cycle of the trap.
+    pub clock: u64,
+    /// Base address of the freed object the fault landed in.
+    pub object_base: u64,
+    /// Size in bytes of that object.
+    pub object_size: u64,
+    /// Resolved allocation-site name (e.g. `"handle_request:malloc"`).
+    pub alloc_site: String,
+    /// Resolved free-site name; `None` if the object was still live
+    /// (spatial faults) or the site was unknown.
+    pub free_site: Option<String>,
+    /// Where the faulting access happened (caller-supplied label).
+    pub use_site: String,
+    /// The last events recorded before the trap, oldest first.
+    pub events: Vec<Event>,
+}
+
+fn event_to_json(ev: &Event) -> Json {
+    let mut pairs = vec![
+        ("clock".into(), Json::from_u64(ev.clock)),
+        ("addr".into(), Json::from_u64(ev.addr)),
+        ("kind".into(), Json::Str(ev.kind.name().into())),
+    ];
+    if let Some(m) = ev.kind.magnitude() {
+        pairs.push(("magnitude".into(), Json::from_u64(m)));
+    }
+    Json::Obj(pairs)
+}
+
+fn event_from_json(j: &Json) -> Option<Event> {
+    let kind = EventKind::from_name(
+        j.get("kind")?.as_str()?,
+        j.get("magnitude").and_then(Json::as_u64),
+    )?;
+    Some(Event { clock: j.get("clock")?.as_u64()?, addr: j.get("addr")?.as_u64()?, kind })
+}
+
+impl TrapReport {
+    /// Serializes the report. Stable key order; `free_site` is `null` when
+    /// absent so consumers see a fixed schema.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("fault_addr".into(), Json::from_u64(self.fault_addr)),
+            ("clock".into(), Json::from_u64(self.clock)),
+            (
+                "object".into(),
+                Json::Obj(vec![
+                    ("base".into(), Json::from_u64(self.object_base)),
+                    ("size".into(), Json::from_u64(self.object_size)),
+                ]),
+            ),
+            ("alloc_site".into(), Json::Str(self.alloc_site.clone())),
+            (
+                "free_site".into(),
+                match &self.free_site {
+                    Some(s) => Json::Str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("use_site".into(), Json::Str(self.use_site.clone())),
+            ("events".into(), Json::Arr(self.events.iter().map(event_to_json).collect())),
+        ])
+    }
+
+    /// Parses a report produced by [`TrapReport::to_json`]. Returns `None`
+    /// on any schema mismatch.
+    pub fn from_json(j: &Json) -> Option<TrapReport> {
+        let object = j.get("object")?;
+        let events = j
+            .get("events")?
+            .as_arr()?
+            .iter()
+            .map(event_from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(TrapReport {
+            kind: j.get("kind")?.as_str()?.to_string(),
+            fault_addr: j.get("fault_addr")?.as_u64()?,
+            clock: j.get("clock")?.as_u64()?,
+            object_base: object.get("base")?.as_u64()?,
+            object_size: object.get("size")?.as_u64()?,
+            alloc_site: j.get("alloc_site")?.as_str()?.to_string(),
+            free_site: match j.get("free_site")? {
+                Json::Null => None,
+                other => Some(other.as_str()?.to_string()),
+            },
+            use_site: j.get("use_site")?.as_str()?.to_string(),
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrapReport {
+        TrapReport {
+            kind: "dangling write".into(),
+            fault_addr: 0x7040,
+            clock: 123_456,
+            object_base: 0x7040,
+            object_size: 48,
+            alloc_site: "handle_request:malloc".into(),
+            free_site: Some("close_connection:free".into()),
+            use_site: "store @ event loop".into(),
+            events: vec![
+                Event { clock: 100, addr: 0x7000, kind: EventKind::Alloc { bytes: 48 } },
+                Event { clock: 200, addr: 0x7000, kind: EventKind::Mprotect { pages: 1 } },
+                Event { clock: 250, addr: 0x7040, kind: EventKind::Trap },
+            ],
+        }
+    }
+
+    #[test]
+    fn trap_report_round_trips_through_json_text() {
+        let r = sample();
+        let text = r.to_json().pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(TrapReport::from_json(&parsed).unwrap(), r);
+    }
+
+    #[test]
+    fn missing_free_site_serializes_as_null() {
+        let mut r = sample();
+        r.free_site = None;
+        let j = r.to_json();
+        assert_eq!(j.get("free_site"), Some(&Json::Null));
+        assert_eq!(TrapReport::from_json(&j).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(TrapReport::from_json(&Json::Null).is_none());
+        let j = Json::parse("{\"kind\": \"dangling read\"}").unwrap();
+        assert!(TrapReport::from_json(&j).is_none());
+    }
+}

@@ -26,6 +26,7 @@ use crate::cost::CostModel;
 use crate::stats::MachineStats;
 use crate::tlb::{Tlb, TlbConfig};
 use crate::trap::Trap;
+use dangle_telemetry::{EventKind, MetricsSnapshot, Telemetry, TelemetryConfig};
 
 /// Per-page protection bits, as set by [`Machine::mprotect`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -85,6 +86,9 @@ pub struct MachineConfig {
     /// Virtual address budget in pages. Default: 2^35 pages = the 2^47
     /// bytes of user VA the paper's §3.4 analysis assumes.
     pub virt_pages: u64,
+    /// Telemetry sink configuration (event ring + metrics registry). Use
+    /// [`dangle_telemetry::TelemetryConfig::disabled`] for a no-op sink.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for MachineConfig {
@@ -95,6 +99,7 @@ impl Default for MachineConfig {
             cache: CacheConfig::default(),
             phys_frames: 1 << 20,
             virt_pages: 1 << 35,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -126,6 +131,7 @@ pub struct Machine {
     cache: L1Cache,
     clock: u64,
     stats: MachineStats,
+    telemetry: Telemetry,
 }
 
 impl Default for Machine {
@@ -154,6 +160,7 @@ impl Machine {
             cache: L1Cache::new(config.cache),
             clock: 0,
             stats: MachineStats::default(),
+            telemetry: Telemetry::new(config.telemetry),
         }
     }
 
@@ -195,6 +202,47 @@ impl Machine {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// The telemetry sink (event ring + metrics registry), read side.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The telemetry sink, write side — how higher layers (allocators,
+    /// pools, detectors, baselines) record their events and counters.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Records one telemetry event timestamped on the current simulated
+    /// clock. Convenience over `telemetry_mut().record(..)` so callers
+    /// don't have to juggle the clock borrow.
+    pub fn note_event(&mut self, addr: VirtAddr, kind: EventKind) {
+        self.telemetry.record(self.clock, addr.raw(), kind);
+    }
+
+    /// A point-in-time snapshot of every telemetry series, extended with
+    /// the machine-derived gauges (`vmm.tlb_hits`, `vmm.tlb_misses`,
+    /// `vmm.loads`, `vmm.stores`, `vmm.traps`, `vmm.virt_pages_consumed`,
+    /// `vmm.virt_pages_mapped_peak`, `vmm.phys_frames_peak`) that are
+    /// maintained as plain fields rather than registry counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.telemetry.snapshot();
+        let derived = [
+            ("vmm.tlb_hits", self.tlb.hits()),
+            ("vmm.tlb_misses", self.tlb.misses()),
+            ("vmm.loads", self.stats.loads),
+            ("vmm.stores", self.stats.stores),
+            ("vmm.traps", self.stats.traps),
+            ("vmm.virt_pages_consumed", self.virt_pages_consumed()),
+            ("vmm.virt_pages_mapped_peak", self.stats.virt_pages_mapped_peak),
+            ("vmm.phys_frames_peak", self.stats.phys_frames_peak),
+        ];
+        for (name, value) in derived {
+            snap.counters.push((name.to_string(), value));
+        }
+        snap
     }
 
     /// Total distinct virtual pages handed out so far.
@@ -298,7 +346,9 @@ impl Machine {
             let frame = self.alloc_frame()?;
             self.map_vpn(base + i, frame, Protection::ReadWrite);
         }
-        Ok(PageNum(base).base())
+        let addr = PageNum(base).base();
+        self.note_event(addr, EventKind::Mmap { pages: pages as u32 });
+        Ok(addr)
     }
 
     /// `mmap(MAP_FIXED)`: re-maps `pages` existing virtual pages starting at
@@ -331,6 +381,7 @@ impl Machine {
             self.map_vpn(base + i, frame, Protection::ReadWrite);
             self.tlb.invalidate(base + i);
         }
+        self.note_event(addr, EventKind::Mmap { pages: pages as u32 });
         Ok(())
     }
 
@@ -367,7 +418,9 @@ impl Machine {
             self.incref_frame(frame);
             self.map_vpn(new_base + i as u64, frame, Protection::ReadWrite);
         }
-        Ok(PageNum(new_base).base())
+        let addr = PageNum(new_base).base();
+        self.note_event(addr, EventKind::Mremap { pages: pages as u32 });
+        Ok(addr)
     }
 
     /// `mmap(MAP_FIXED)` onto a shared region: re-maps `pages` virtual pages
@@ -412,6 +465,7 @@ impl Machine {
             self.map_vpn(dst_base + i as u64, frame, Protection::ReadWrite);
             self.tlb.invalidate(dst_base + i as u64);
         }
+        self.note_event(dst, EventKind::Mmap { pages: pages as u32 });
         Ok(())
     }
 
@@ -438,6 +492,7 @@ impl Machine {
             self.page_table.get_mut(&(base + i)).expect("checked above").prot = prot;
             self.tlb.invalidate(base + i);
         }
+        self.note_event(addr, EventKind::Mprotect { pages: pages as u32 });
         Ok(())
     }
 
@@ -455,6 +510,7 @@ impl Machine {
                 self.stats.virt_pages_mapped -= 1;
             }
         }
+        self.note_event(addr, EventKind::Munmap { pages: pages as u32 });
         Ok(())
     }
 
@@ -464,6 +520,7 @@ impl Machine {
     pub fn dummy_syscall(&mut self) {
         self.stats.dummy_calls += 1;
         self.clock += self.config.cost.syscall_dummy;
+        self.note_event(VirtAddr::NULL, EventKind::DummySyscall);
     }
 
     // ------------------------------------------------------------------
@@ -525,11 +582,13 @@ impl Machine {
             Some(p) => *p,
             None => {
                 self.stats.traps += 1;
+                self.note_event(addr, EventKind::Trap);
                 return Err(Trap::Unmapped { addr, access });
             }
         };
         if !pte.prot.allows(access) {
             self.stats.traps += 1;
+            self.note_event(addr, EventKind::Trap);
             return Err(Trap::Protection { addr, prot: pte.prot, access });
         }
         let paddr = (pte.frame as u64) << PAGE_SHIFT | addr.offset() as u64;

@@ -8,7 +8,7 @@
 
 #[cfg(feature = "os")]
 fn main() -> std::io::Result<()> {
-    use dangle::core::os::OsAliasArena;
+    use dangle::core::os::{ffi as libc, OsAliasArena};
 
     let mut arena = OsAliasArena::new(1 << 20)?;
 

@@ -26,7 +26,9 @@
 //!   [`ShadowPool`], diagnostics, the §3.4 mitigations;
 //! * [`baselines`] — Electric Fence, Valgrind-style, and capability-store
 //!   comparators;
-//! * [`workloads`] — the calibrated evaluation programs of Tables 1–3.
+//! * [`workloads`] — the calibrated evaluation programs of Tables 1–3;
+//! * [`telemetry`] — the event ring, metrics registry, structured trap
+//!   reports, and the `BENCH_*.json` artifact writer.
 //!
 //! ## Quick start
 //!
@@ -60,6 +62,7 @@ pub use dangle_core as core;
 pub use dangle_heap as heap;
 pub use dangle_interp as interp;
 pub use dangle_pool as pool;
+pub use dangle_telemetry as telemetry;
 pub use dangle_vmm as vmm;
 pub use dangle_workloads as workloads;
 

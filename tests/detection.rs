@@ -1,15 +1,40 @@
-//! Soundness properties of the detector, property-tested: under random
+//! Soundness properties of the detector, randomized-tested: under random
 //! allocation traffic, *every* use of a freed object is caught — reads,
 //! writes, interior pointers, double frees, arbitrarily long after the
 //! free — while live objects are never disturbed. Also pins down the
 //! soundness *differences* between the schemes (memcheck's quarantine gap,
-//! capability's reuse soundness, native's silence).
+//! capability's reuse soundness, native's silence) and exercises the
+//! structured JSON trap report end-to-end on a deliberately injected
+//! use-after-free.
 
 use dangle::core::{ShadowHeap, ShadowPool};
 use dangle::heap::{Allocator, SysHeap};
 use dangle::interp::backend::{Backend, MemcheckBackend, NativeBackend, ShadowPoolBackend};
+use dangle::telemetry::{EventKind, Json, TrapReport};
 use dangle::vmm::{Machine, VirtAddr};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator for the seeded randomized tests
+/// (ports of the original property tests; no external crates).
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -20,32 +45,36 @@ enum Op {
     DoubleFree { idx: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (1usize..2000).prop_map(|size| Op::Alloc { size }),
-        2 => any::<usize>().prop_map(|idx| Op::FreeLive { idx }),
-        3 => (any::<usize>(), 0usize..2000).prop_map(|(idx, offset)| Op::UseLive { idx, offset }),
-        3 => (any::<usize>(), 0usize..2000, any::<bool>())
-            .prop_map(|(idx, offset, write)| Op::UseFreed { idx, offset, write }),
-        1 => any::<usize>().prop_map(|idx| Op::DoubleFree { idx }),
-    ]
+/// Mirrors the original strategy's 4:2:3:3:1 weighting.
+fn random_op(rng: &mut TestRng) -> Op {
+    match rng.below(13) {
+        0..=3 => Op::Alloc { size: 1 + rng.below(1999) as usize },
+        4 | 5 => Op::FreeLive { idx: rng.next() as usize },
+        6..=8 => Op::UseLive { idx: rng.next() as usize, offset: rng.below(2000) as usize },
+        9..=11 => Op::UseFreed {
+            idx: rng.next() as usize,
+            offset: rng.below(2000) as usize,
+            write: rng.below(2) == 0,
+        },
+        _ => Op::DoubleFree { idx: rng.next() as usize },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// ShadowHeap soundness: freed-object uses always trap; live objects
-    /// always work and keep their data.
-    #[test]
-    fn shadow_heap_catches_every_dangling_use(ops in prop::collection::vec(op_strategy(), 1..80)) {
+/// ShadowHeap soundness: freed-object uses always trap; live objects
+/// always work and keep their data.
+#[test]
+fn shadow_heap_catches_every_dangling_use() {
+    for case in 0..48u64 {
+        let mut rng = TestRng::new(0xde7e_c701 + case * 0x9e37_79b9);
+        let n_ops = 1 + rng.below(79) as usize;
         let mut m = Machine::free_running();
         let mut h = ShadowHeap::new(SysHeap::new());
         let mut live: Vec<(VirtAddr, usize, u8)> = Vec::new();
         let mut freed: Vec<(VirtAddr, usize)> = Vec::new();
         let mut seed = 0u8;
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Alloc { size } => {
                     seed = seed.wrapping_add(13);
                     let p = h.alloc(&mut m, size).unwrap();
@@ -55,23 +84,29 @@ proptest! {
                     live.push((p, size, seed));
                 }
                 Op::FreeLive { idx } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (p, size, _) = live.swap_remove(idx % live.len());
                     h.free(&mut m, p).unwrap();
                     freed.push((p, size));
                 }
                 Op::UseLive { idx, offset } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (p, size, s) = live[idx % live.len()];
                     let off = offset % size.clamp(1, 24);
-                    prop_assert_eq!(
+                    assert_eq!(
                         m.load_u8(p.add(off as u64)).unwrap(),
                         s.wrapping_add(off as u8),
-                        "live object data intact"
+                        "case {case}: live object data intact"
                     );
                 }
                 Op::UseFreed { idx, offset, write } => {
-                    if freed.is_empty() { continue; }
+                    if freed.is_empty() {
+                        continue;
+                    }
                     let (p, size) = freed[idx % freed.len()];
                     let off = (offset % size.max(1)) as u64;
                     let r = if write {
@@ -79,29 +114,35 @@ proptest! {
                     } else {
                         m.load_u8(p.add(off)).err()
                     };
-                    let trap = r.expect("EVERY dangling use must trap");
-                    prop_assert!(
+                    let trap = r.unwrap_or_else(|| {
+                        panic!("case {case}: EVERY dangling use must trap")
+                    });
+                    assert!(
                         h.explain(&trap).is_some(),
-                        "every trap must be attributable to its object"
+                        "case {case}: every trap must be attributable to its object"
                     );
                 }
                 Op::DoubleFree { idx } => {
-                    if freed.is_empty() { continue; }
+                    if freed.is_empty() {
+                        continue;
+                    }
                     let (p, _) = freed[idx % freed.len()];
-                    prop_assert!(h.free(&mut m, p).is_err(), "double free must fail");
+                    assert!(h.free(&mut m, p).is_err(), "case {case}: double free must fail");
                 }
             }
         }
     }
+}
 
-    /// ShadowPool soundness: same property inside pools, including when
-    /// other pools are created and destroyed around the traffic (page
-    /// recycling must never resurrect a freed object's address while its
-    /// pool is alive).
-    #[test]
-    fn shadow_pool_detection_survives_page_recycling(
-        rounds in prop::collection::vec((1usize..500, 0usize..500), 1..30)
-    ) {
+/// ShadowPool soundness: same property inside pools, including when
+/// other pools are created and destroyed around the traffic (page
+/// recycling must never resurrect a freed object's address while its
+/// pool is alive).
+#[test]
+fn shadow_pool_detection_survives_page_recycling() {
+    for case in 0..48u64 {
+        let mut rng = TestRng::new(0xde7e_c702 + case * 0x9e37_79b9);
+        let rounds = 1 + rng.below(29) as usize;
         let mut m = Machine::free_running();
         let mut sp = ShadowPool::new();
         let victim_pool = sp.create(16);
@@ -110,14 +151,19 @@ proptest! {
         sp.free(&mut m, victim_pool, stale).unwrap();
 
         // ...and lots of pool churn afterwards.
-        for (size, offset) in rounds {
+        for _ in 0..rounds {
+            let size = 1 + rng.below(499) as usize;
+            let offset = rng.below(500) as usize;
             let p = sp.create(16);
             let a = sp.alloc(&mut m, p, size).unwrap();
             m.store_u8(a.add((offset % size) as u64), 1).unwrap();
             sp.free(&mut m, p, a).unwrap();
             sp.destroy(&mut m, p).unwrap();
             // The stale pointer must still trap as long as its pool lives.
-            prop_assert!(m.load_u8(stale.add((offset % 64) as u64)).is_err());
+            assert!(
+                m.load_u8(stale.add((offset % 64) as u64)).is_err(),
+                "case {case}: stale pointer must keep trapping"
+            );
         }
     }
 }
@@ -137,6 +183,48 @@ fn detection_arbitrarily_far_in_the_future() {
     }
     assert!(m.load_u64(stale).is_err());
     assert!(m.store_u64(stale.add(8), 1).is_err());
+}
+
+/// The acceptance scenario for the structured trap reports: a deliberately
+/// injected use-after-free produces a JSON report carrying the allocation
+/// site, the free site, the use site, and the trailing event-ring context,
+/// and the JSON round-trips losslessly.
+#[test]
+fn injected_uaf_produces_json_trap_report() {
+    let mut m = Machine::free_running();
+    let mut h = ShadowHeap::new(SysHeap::new());
+    let alloc_site = h.sites_mut().intern("session_new:malloc");
+    let free_site = h.sites_mut().intern("session_close:free");
+
+    let p = h.alloc_at(&mut m, 96, alloc_site).unwrap();
+    m.store_u64(p, 0xfeed).unwrap();
+    h.free_at(&mut m, p, free_site).unwrap();
+
+    // The injected dangling read, three operations after the free.
+    let trap = m.load_u64(p.add(16)).unwrap_err();
+    let report = h
+        .trap_report(&m, &trap, "request_handler:read")
+        .expect("trap attributes to the freed object");
+
+    assert_eq!(report.alloc_site, "session_new:malloc");
+    assert_eq!(report.free_site.as_deref(), Some("session_close:free"));
+    assert_eq!(report.use_site, "request_handler:read");
+    assert_eq!(report.object_size, 96);
+    assert_eq!(report.fault_addr, p.add(16).raw());
+    // Trailing event-ring context: ends at the trap, preceded by the
+    // free's mprotect.
+    let last = report.events.last().expect("context events present");
+    assert!(matches!(last.kind, EventKind::Trap));
+    assert!(
+        report.events.iter().any(|e| matches!(e.kind, EventKind::Mprotect { .. })),
+        "context must include the free's mprotect"
+    );
+
+    // GWP-ASan-style JSON round-trip.
+    let text = report.to_json().to_string();
+    let parsed = Json::parse(&text).expect("report JSON parses");
+    let back = TrapReport::from_json(&parsed).expect("report deserializes");
+    assert_eq!(back, report);
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! Property-based semantics preservation: for randomly generated *safe*
+//! Randomized semantics preservation: for randomly generated *safe*
 //! MiniC programs, the Automatic Pool Allocation transform and every
 //! non-detecting/detecting scheme must produce identical observable output
 //! (the sequence of printed values). This is the end-to-end contract the
@@ -9,7 +9,7 @@ use dangle::apa::{parse, pool_allocate};
 use dangle::interp::backend::*;
 use dangle::interp::run;
 use dangle::vmm::Machine;
-use proptest::prelude::*;
+use dangle::workloads::Prng;
 use std::fmt::Write;
 
 const FUEL: u64 = 4_000_000;
@@ -32,14 +32,24 @@ enum Op {
 
 const LISTS: usize = 3;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..LISTS, -50i64..50).prop_map(|(list, value)| Op::Push { list, value }),
-        2 => (0..LISTS).prop_map(|list| Op::PopFree { list }),
-        2 => (0..LISTS).prop_map(|list| Op::PrintSum { list }),
-        1 => (0..LISTS).prop_map(|list| Op::DrainFree { list }),
-        2 => (-9i64..9, 1i64..9).prop_map(|(a, b)| Op::PrintArith { a, b }),
-    ]
+/// Mirrors the original strategy's 4:2:2:1:2 weighting.
+fn random_op(rng: &mut Prng) -> Op {
+    let list = rng.below(LISTS as u64) as usize;
+    match rng.below(11) {
+        0..=3 => Op::Push { list, value: rng.below(100) as i64 - 50 },
+        4 | 5 => Op::PopFree { list },
+        6 | 7 => Op::PrintSum { list },
+        8 => Op::DrainFree { list },
+        _ => Op::PrintArith {
+            a: rng.below(18) as i64 - 9,
+            b: 1 + rng.below(8) as i64,
+        },
+    }
+}
+
+fn random_ops(rng: &mut Prng, max: usize) -> Vec<Op> {
+    let n = 1 + rng.below(max as u64 - 1) as usize;
+    (0..n).map(|_| random_op(rng)).collect()
 }
 
 /// Renders the op sequence as a MiniC program.
@@ -89,20 +99,22 @@ fn render(ops: &[Op]) -> String {
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Transform + any scheme == native, for safe random programs.
-    #[test]
-    fn transform_and_schemes_preserve_output(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// Transform + any scheme == native, for safe random programs.
+#[test]
+fn transform_and_schemes_preserve_output() {
+    for case in 0..40u64 {
+        let mut rng = Prng::new(0x5e4a_0001 + case * 0x9e37_79b9);
+        let ops = random_ops(&mut rng, 40);
         let src = render(&ops);
-        let prog = parse(&src).unwrap_or_else(|e| panic!("generated source failed to parse: {e}\n{src}"));
+        let prog = parse(&src)
+            .unwrap_or_else(|e| panic!("case {case}: generated source failed to parse: {e}\n{src}"));
         let (transformed, _) = pool_allocate(&prog);
-        dangle::apa::validate(&transformed, true)
-            .unwrap_or_else(|errs| panic!("transform produced ill-formed output: {errs:?}\n{src}"));
+        dangle::apa::validate(&transformed, true).unwrap_or_else(|errs| {
+            panic!("case {case}: transform produced ill-formed output: {errs:?}\n{src}")
+        });
 
         let reference = run(&prog, &mut Machine::free_running(), &mut NativeBackend::new(), FUEL)
-            .unwrap_or_else(|e| panic!("native run failed: {e}\n{src}"))
+            .unwrap_or_else(|e| panic!("case {case}: native run failed: {e}\n{src}"))
             .output;
 
         // Transformed program under pool-aware schemes.
@@ -113,8 +125,8 @@ proptest! {
         ];
         for (name, b) in &mut pooled {
             let out = run(&transformed, &mut Machine::free_running(), b.as_mut(), FUEL)
-                .unwrap_or_else(|e| panic!("{name} failed: {e}\n{src}"));
-            prop_assert_eq!(&out.output, &reference, "{} diverged", name);
+                .unwrap_or_else(|e| panic!("case {case}: {name} failed: {e}\n{src}"));
+            assert_eq!(out.output, reference, "case {case}: {name} diverged");
         }
 
         // Untransformed program under whole-heap detectors.
@@ -126,18 +138,22 @@ proptest! {
         ];
         for (name, b) in &mut whole {
             let out = run(&prog, &mut Machine::free_running(), b.as_mut(), FUEL)
-                .unwrap_or_else(|e| panic!("{name} failed: {e}\n{src}"));
-            prop_assert_eq!(&out.output, &reference, "{} diverged", name);
+                .unwrap_or_else(|e| panic!("case {case}: {name} failed: {e}\n{src}"));
+            assert_eq!(out.output, reference, "case {case}: {name} diverged");
         }
     }
+}
 
-    /// The pretty-printer round-trips every generated program.
-    #[test]
-    fn generated_programs_round_trip(ops in prop::collection::vec(op_strategy(), 1..30)) {
+/// The pretty-printer round-trips every generated program.
+#[test]
+fn generated_programs_round_trip() {
+    for case in 0..40u64 {
+        let mut rng = Prng::new(0x5e4a_1001 + case * 0x9e37_79b9);
+        let ops = random_ops(&mut rng, 30);
         let src = render(&ops);
         let prog = parse(&src).unwrap();
         let printed = dangle::apa::to_source(&prog);
         let reparsed = parse(&printed).unwrap();
-        prop_assert_eq!(prog, reparsed);
+        assert_eq!(prog, reparsed, "case {case}");
     }
 }
