@@ -193,6 +193,29 @@ impl ObjectRegistry {
         }
     }
 
+    /// [`ObjectRegistry::insert`] for a *contiguous* run of shadow pages
+    /// (`start`, `start+1`, ..). Shadow spans are always contiguous, so the
+    /// hot alloc paths use this to avoid materializing a page list.
+    pub fn insert_range(
+        &mut self,
+        base: VirtAddr,
+        size: usize,
+        alloc_site: SiteId,
+        start: PageNum,
+        span: usize,
+    ) {
+        let idx = self.records.len();
+        self.records.push(ObjectRecord {
+            base,
+            size,
+            alloc_site,
+            state: ObjectState::Live,
+        });
+        for i in 0..span as u64 {
+            self.by_page.insert(start.add(i), idx);
+        }
+    }
+
     /// Marks the object at `base` freed.
     pub fn mark_freed(&mut self, base: VirtAddr, free_site: SiteId) {
         if let Some(&idx) = self.by_page.get(&base.page()) {
@@ -209,6 +232,14 @@ impl ObjectRegistry {
     pub fn forget_pages(&mut self, pages: &[PageNum]) {
         for p in pages {
             self.by_page.remove(p);
+        }
+    }
+
+    /// [`ObjectRegistry::forget_pages`] for a contiguous run starting at
+    /// `start` — the recycling/GC paths drop whole spans at once.
+    pub fn forget_range(&mut self, start: PageNum, span: usize) {
+        for i in 0..span as u64 {
+            self.by_page.remove(&start.add(i));
         }
     }
 
@@ -320,6 +351,28 @@ mod tests {
         r.forget_pages(&[PageNum(1)]);
         assert_eq!(r.tracked_pages(), 1);
         assert!(r.lookup(PageNum(1).base()).is_none());
+    }
+
+    #[test]
+    fn range_apis_match_slice_apis() {
+        let mut by_slice = ObjectRegistry::new();
+        let mut by_range = ObjectRegistry::new();
+        let base = PageNum(20).base().add(8);
+        by_slice.insert(base, 9000, SiteId(4), &[PageNum(20), PageNum(21), PageNum(22)]);
+        by_range.insert_range(base, 9000, SiteId(4), PageNum(20), 3);
+        for pg in 20..23 {
+            assert_eq!(
+                by_slice.lookup(PageNum(pg).base()),
+                by_range.lookup(PageNum(pg).base())
+            );
+        }
+        assert_eq!(by_slice.tracked_pages(), by_range.tracked_pages());
+
+        by_slice.forget_pages(&[PageNum(20), PageNum(21)]);
+        by_range.forget_range(PageNum(20), 2);
+        assert_eq!(by_slice.tracked_pages(), by_range.tracked_pages());
+        assert!(by_range.lookup(PageNum(20).base()).is_none());
+        assert!(by_range.lookup(PageNum(22).base()).is_some());
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct ShadowPool {
     /// Live objects per pool: user address -> size. Scanned by the GC.
     live: HashMap<PoolId, HashMap<VirtAddr, usize>>,
     last_report: Option<DanglingReport>,
+    /// Cached telemetry handles for the per-alloc counters, resolved on
+    /// first use so the hot path skips the by-name registry lookup.
+    recycled_counter: Option<dangle_telemetry::CounterHandle>,
+    fresh_counter: Option<dangle_telemetry::CounterHandle>,
 }
 
 impl ShadowPool {
@@ -112,26 +116,50 @@ impl ShadowPool {
             Some(pg) => {
                 machine.alias_fixed(canon_page.base(), pg.base(), span)?;
                 machine.note_event(pg.base(), EventKind::FreeListHit { pages: span as u32 });
-                machine.telemetry_mut().counter_add("pool.pages_recycled", span as u64);
+                let t = machine.telemetry_mut();
+                if t.enabled() {
+                    let h = match self.recycled_counter {
+                        Some(h) => h,
+                        None => {
+                            let h = t.metrics_mut().counter_handle("pool.pages_recycled");
+                            self.recycled_counter = Some(h);
+                            h
+                        }
+                    };
+                    t.metrics_mut().add(h, span as u64);
+                }
                 pg.base()
             }
             None => {
                 let base = machine.mremap_alias(canon_page.base(), span)?;
                 machine.note_event(base, EventKind::FreeListMiss { pages: span as u32 });
-                machine.telemetry_mut().counter_add("pool.pages_fresh", span as u64);
+                let t = machine.telemetry_mut();
+                if t.enabled() {
+                    let h = match self.fresh_counter {
+                        Some(h) => h,
+                        None => {
+                            let h = t.metrics_mut().counter_handle("pool.pages_fresh");
+                            self.fresh_counter = Some(h);
+                            h
+                        }
+                    };
+                    t.metrics_mut().add(h, span as u64);
+                }
                 base
             }
         };
-        let pages: Vec<PageNum> =
-            (0..span as u64).map(|i| shadow_base.page().add(i)).collect();
-        for &pg in &pages {
-            self.pools.register_extra_page(pool, pg)?;
+        let shadow_start = shadow_base.page();
+        for i in 0..span as u64 {
+            self.pools.register_extra_page(pool, shadow_start.add(i))?;
         }
-        self.shadow_pages.entry(pool).or_default().extend(&pages);
+        self.shadow_pages
+            .entry(pool)
+            .or_default()
+            .extend((0..span as u64).map(|i| shadow_start.add(i)));
         let shadow_hidden = shadow_base.add(canon.offset() as u64);
         machine.store_u64(shadow_hidden, canon_page.base().raw())?;
         let user = shadow_hidden.add(SHADOW_WORD as u64);
-        self.registry.insert(user, size, site, &pages);
+        self.registry.insert_range(user, size, site, shadow_start, span);
         self.live.entry(pool).or_default().insert(user, size);
         self.stats.note_alloc(size);
         Ok(user)
@@ -293,16 +321,17 @@ impl ShadowPool {
         let Some(list) = self.freed.get_mut(&pool) else { return 0 };
         let Some(pos) = list.iter().position(|&s| s == span) else { return 0 };
         list.remove(pos);
-        let pages: Vec<PageNum> = (0..span.span as u64).map(|i| span.base.add(i)).collect();
-        self.registry.forget_pages(&pages);
+        let end = span.base.add(span.span as u64);
+        self.registry.forget_range(span.base, span.span);
         if let Some(sp) = self.shadow_pages.get_mut(&pool) {
-            sp.retain(|p| !pages.contains(p));
+            sp.retain(|&p| p < span.base || p >= end);
         }
-        for &pg in &pages {
+        for i in 0..span.span as u64 {
+            let pg = span.base.add(i);
             let _ = self.pools.take_extra_page(pool, pg);
             self.pools.donate_page(pg);
         }
-        pages.len()
+        span.span
     }
 
     /// Aggregate allocation counters (user sizes).

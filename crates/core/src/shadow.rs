@@ -199,9 +199,7 @@ impl<A: Allocator> ShadowHeap<A> {
         let shadow_hidden = shadow_base.add(canon.offset() as u64);
         machine.store_u64(shadow_hidden, canon_page.base().raw())?;
         let user = shadow_hidden.add(SHADOW_WORD as u64);
-        let pages: Vec<PageNum> =
-            (0..span as u64).map(|i| shadow_base.page().add(i)).collect();
-        self.registry.insert(user, size, site, &pages);
+        self.registry.insert_range(user, size, site, shadow_base.page(), span);
         self.stats.note_alloc(size);
         Ok(user)
     }
@@ -253,10 +251,9 @@ impl<A: Allocator> ShadowHeap<A> {
     pub fn recycle_freed_pages(&mut self) -> usize {
         let mut n = 0;
         for (base, span) in self.freed_spans.drain(..) {
-            let pages: Vec<PageNum> = (0..span as u64).map(|i| base.add(i)).collect();
-            self.registry.forget_pages(&pages);
-            n += pages.len();
-            self.recycled.extend(pages);
+            self.registry.forget_range(base, span);
+            n += span;
+            self.recycled.extend((0..span as u64).map(|i| base.add(i)));
         }
         n
     }

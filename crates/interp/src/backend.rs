@@ -178,6 +178,82 @@ pub trait Backend {
         value: u64,
     ) -> Result<(), BackendError>;
 
+    /// A program-level bulk read (`memcpy` out of simulated memory). The
+    /// default walks word-at-a-time through [`Backend::load`] so software
+    /// checkers still see every access; MMU-backed schemes override it
+    /// with [`Machine::read_bytes`], which translates once per page.
+    ///
+    /// # Errors
+    /// As for [`Backend::load`]; the buffer contents are unspecified on
+    /// error.
+    fn load_bytes(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), BackendError> {
+        let mut pos = 0usize;
+        while pos + 8 <= buf.len() {
+            let v = self.load(machine, addr.add(pos as u64), 8)?;
+            buf[pos..pos + 8].copy_from_slice(&v.to_le_bytes());
+            pos += 8;
+        }
+        while pos < buf.len() {
+            buf[pos] = self.load(machine, addr.add(pos as u64), 1)? as u8;
+            pos += 1;
+        }
+        Ok(())
+    }
+
+    /// A program-level bulk write (`memcpy` into simulated memory). See
+    /// [`Backend::load_bytes`] for the default/override split.
+    ///
+    /// # Errors
+    /// As for [`Backend::store`]; a prefix may already be written on error.
+    fn store_bytes(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        buf: &[u8],
+    ) -> Result<(), BackendError> {
+        let mut pos = 0usize;
+        while pos + 8 <= buf.len() {
+            let v = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"));
+            self.store(machine, addr.add(pos as u64), 8, v)?;
+            pos += 8;
+        }
+        while pos < buf.len() {
+            self.store(machine, addr.add(pos as u64), 1, buf[pos] as u64)?;
+            pos += 1;
+        }
+        Ok(())
+    }
+
+    /// A program-level `memset`. See [`Backend::load_bytes`] for the
+    /// default/override split.
+    ///
+    /// # Errors
+    /// As for [`Backend::store`].
+    fn memset(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        byte: u8,
+        len: usize,
+    ) -> Result<(), BackendError> {
+        let word = u64::from_le_bytes([byte; 8]);
+        let mut pos = 0usize;
+        while pos + 8 <= len {
+            self.store(machine, addr.add(pos as u64), 8, word)?;
+            pos += 8;
+        }
+        while pos < len {
+            self.store(machine, addr.add(pos as u64), 1, byte as u64)?;
+            pos += 1;
+        }
+        Ok(())
+    }
+
     /// Attributes a trap to a freed object, when the scheme can.
     fn explain(&self, _trap: &Trap) -> Option<String> {
         None
@@ -190,6 +266,48 @@ pub trait Backend {
     fn compute(&mut self, machine: &mut Machine, cycles: u64) {
         machine.tick(cycles);
     }
+}
+
+/// Bulk-op overrides for MMU-backed schemes: the machine's page-chunked
+/// bulk transfers replace the default per-word walk (page protection
+/// still traps dangling accesses — chunks never cross a page). `plain`
+/// maps traps bare; `explained` attaches the detector's attribution.
+macro_rules! mmu_bulk_ops {
+    (@map plain, $self:ident, $t:ident) => {
+        BackendError::Trap { trap: $t, report: None }
+    };
+    (@map explained, $self:ident, $t:ident) => {
+        BackendError::Trap { report: $self.explain(&$t), trap: $t }
+    };
+    ($kind:ident) => {
+        fn load_bytes(
+            &mut self,
+            machine: &mut Machine,
+            addr: VirtAddr,
+            buf: &mut [u8],
+        ) -> Result<(), BackendError> {
+            machine.read_bytes(addr, buf).map_err(|t| mmu_bulk_ops!(@map $kind, self, t))
+        }
+
+        fn store_bytes(
+            &mut self,
+            machine: &mut Machine,
+            addr: VirtAddr,
+            buf: &[u8],
+        ) -> Result<(), BackendError> {
+            machine.write_bytes(addr, buf).map_err(|t| mmu_bulk_ops!(@map $kind, self, t))
+        }
+
+        fn memset(
+            &mut self,
+            machine: &mut Machine,
+            addr: VirtAddr,
+            byte: u8,
+            len: usize,
+        ) -> Result<(), BackendError> {
+            machine.memset(addr, byte, len).map_err(|t| mmu_bulk_ops!(@map $kind, self, t))
+        }
+    };
 }
 
 // ---------------------------------------------------------------------
@@ -275,6 +393,8 @@ impl Backend for NativeBackend {
             .store(addr, width, value)
             .map_err(|t| BackendError::Trap { trap: t, report: None })
     }
+
+    mmu_bulk_ops!(plain);
 }
 
 // ---------------------------------------------------------------------
@@ -397,6 +517,8 @@ impl Backend for PoolBackend {
             .store(addr, width, value)
             .map_err(|t| BackendError::Trap { trap: t, report: None })
     }
+
+    mmu_bulk_ops!(plain);
 }
 
 // ---------------------------------------------------------------------
@@ -491,6 +613,8 @@ impl Backend for ShadowBackend {
             trap: t,
         })
     }
+
+    mmu_bulk_ops!(explained);
 
     fn explain(&self, trap: &Trap) -> Option<String> {
         self.heap.explain(trap).map(|r| r.render(self.heap.sites()))
@@ -614,6 +738,8 @@ impl Backend for ShadowPoolBackend {
             trap: t,
         })
     }
+
+    mmu_bulk_ops!(explained);
 
     fn explain(&self, trap: &Trap) -> Option<String> {
         self.detector.explain(trap).map(|r| r.render(self.detector.sites()))
@@ -818,6 +944,8 @@ impl Backend for EFenceBackend {
             .store(addr, width, value)
             .map_err(|t| BackendError::Trap { trap: t, report: None })
     }
+
+    mmu_bulk_ops!(plain);
 }
 
 // ---------------------------------------------------------------------
@@ -963,6 +1091,58 @@ mod tests {
             assert!(got.is_ok(), "{} must NOT detect (that's the point)", backend.name());
         }
         backend.pool_destroy(&mut m, pool).unwrap();
+    }
+
+    /// Bulk ops must round-trip data and preserve each scheme's detection
+    /// behaviour — whether the backend uses the default per-word walk or
+    /// the page-chunked MMU override.
+    fn exercise_bulk(backend: &mut dyn Backend, expect_detection: bool) {
+        let mut m = Machine::free_running();
+        let pool = backend.pool_create(&mut m, 16).unwrap();
+        let p = backend.alloc(&mut m, 64, Some(pool)).unwrap();
+        let data: Vec<u8> = (0..64u8).map(|i| i ^ 0x5a).collect();
+        backend.store_bytes(&mut m, p, &data).unwrap();
+        let mut back = vec![0u8; 64];
+        backend.load_bytes(&mut m, p, &mut back).unwrap();
+        assert_eq!(back, data, "{}: bulk round trip", backend.name());
+        backend.memset(&mut m, p, 0x11, 64).unwrap();
+        assert_eq!(backend.load(&mut m, p, 8).unwrap(), 0x1111_1111_1111_1111);
+        backend.free(&mut m, p, Some(pool)).unwrap();
+        let got = backend.load_bytes(&mut m, p, &mut back);
+        if expect_detection {
+            let err = got.unwrap_err();
+            assert!(err.is_detection(), "{}: {err}", backend.name());
+        } else {
+            assert!(got.is_ok(), "{} must NOT detect bulk dangling reads", backend.name());
+        }
+        backend.pool_destroy(&mut m, pool).unwrap();
+    }
+
+    #[test]
+    fn bulk_ops_preserve_scheme_semantics() {
+        exercise_bulk(&mut NativeBackend::new(), false);
+        exercise_bulk(&mut PoolBackend::new(), false);
+        exercise_bulk(&mut ShadowBackend::new(), true);
+        exercise_bulk(&mut ShadowPoolBackend::new(), true);
+        exercise_bulk(&mut EFenceBackend::new(), true);
+        exercise_bulk(&mut MemcheckBackend::new(), true);
+        exercise_bulk(&mut CapabilityBackend::new(), true);
+        exercise_bulk(&mut CombinedBackend::new(), true);
+    }
+
+    #[test]
+    fn shadow_pool_bulk_trap_carries_report() {
+        let mut m = Machine::free_running();
+        let mut b = ShadowPoolBackend::new();
+        let p = b.alloc(&mut m, 16, None).unwrap();
+        b.free(&mut m, p, None).unwrap();
+        let mut buf = [0u8; 16];
+        let BackendError::Trap { report, .. } =
+            b.load_bytes(&mut m, p, &mut buf).unwrap_err()
+        else {
+            panic!()
+        };
+        assert!(report.expect("attributed").contains("dangling read"));
     }
 
     #[test]

@@ -153,11 +153,19 @@ struct Pool {
 #[derive(Debug, Default)]
 pub struct PoolSet {
     pools: Vec<Pool>,
-    /// Shared free list of virtual-page *runs*: `(base, len)`. Runs let
-    /// multi-page canonical blocks and multi-page shadow spans recycle
-    /// virtual addresses too, not just single pages.
+    /// Shared free list of virtual-page *runs*: `(base, len)`, kept
+    /// **sorted by base** and fully coalesced (no two entries adjacent).
+    /// Runs let multi-page canonical blocks and multi-page shadow spans
+    /// recycle virtual addresses too, not just single pages. Sorting
+    /// makes release a binary search that merges with *both* neighbours,
+    /// where the previous append-only list could only merge with the
+    /// most recently released run and fragmented over time.
     free_runs: Vec<(PageNum, u32)>,
     config: PoolConfig,
+    /// Cached telemetry handles for the `acquire_run` hot path (resolved
+    /// lazily on first use instead of by name on every call).
+    recycled_counter: Option<dangle_telemetry::CounterHandle>,
+    fresh_counter: Option<dangle_telemetry::CounterHandle>,
 }
 
 impl PoolSet {
@@ -201,7 +209,8 @@ impl PoolSet {
     }
 
     /// Pops `n` *contiguous* page numbers off the shared free list without
-    /// mapping them, splitting a larger run if needed. `None` when reuse is
+    /// mapping them, splitting a larger run if needed (first fit in base
+    /// order, taking from the front of the run). `None` when reuse is
     /// disabled or no run is long enough.
     pub fn take_free_run(&mut self, n: usize) -> Option<PageNum> {
         if !self.config.reuse_pages || n == 0 {
@@ -210,7 +219,7 @@ impl PoolSet {
         let i = self.free_runs.iter().position(|&(_, len)| len as usize >= n)?;
         let (base, len) = self.free_runs[i];
         if len as usize == n {
-            self.free_runs.swap_remove(i);
+            self.free_runs.remove(i);
         } else {
             self.free_runs[i] = (base.add(n as u64), len - n as u32);
         }
@@ -218,19 +227,39 @@ impl PoolSet {
     }
 
     /// Pushes a run of `len` pages starting at `base` onto the shared free
-    /// list (merging with an adjacent run when trivially possible).
+    /// list. The list is kept sorted by base and fully coalesced: the run
+    /// is binary-searched into place and merged with *both* neighbours
+    /// when adjacent.
     fn release_run(&mut self, base: PageNum, len: u32) {
         if !self.config.reuse_pages || len == 0 {
             return;
         }
-        // Cheap merge with the most recently released neighbour.
-        if let Some(last) = self.free_runs.last_mut() {
-            if last.0.add(last.1 as u64) == base {
-                last.1 += len;
-                return;
+        let i = self.free_runs.partition_point(|&(b, _)| b < base);
+        debug_assert!(
+            i == 0 || self.free_runs[i - 1].0.add(self.free_runs[i - 1].1 as u64) <= base,
+            "released run overlaps a free run below it"
+        );
+        debug_assert!(
+            i == self.free_runs.len() || base.add(len as u64) <= self.free_runs[i].0,
+            "released run overlaps a free run above it"
+        );
+        let merges_prev =
+            i > 0 && self.free_runs[i - 1].0.add(self.free_runs[i - 1].1 as u64) == base;
+        let merges_next =
+            i < self.free_runs.len() && base.add(len as u64) == self.free_runs[i].0;
+        match (merges_prev, merges_next) {
+            (true, true) => {
+                let next_len = self.free_runs[i].1;
+                self.free_runs[i - 1].1 += len + next_len;
+                self.free_runs.remove(i);
             }
+            (true, false) => self.free_runs[i - 1].1 += len,
+            (false, true) => {
+                self.free_runs[i].0 = base;
+                self.free_runs[i].1 += len;
+            }
+            (false, false) => self.free_runs.insert(i, (base, len)),
         }
-        self.free_runs.push((base, len));
     }
 
     /// Releases a set of pages: sorts, coalesces consecutive pages into
@@ -265,12 +294,34 @@ impl PoolSet {
         if let Some(base) = self.take_free_run(n) {
             machine.mmap_fixed(base.base(), n)?;
             machine.note_event(base.base(), EventKind::FreeListHit { pages: n as u32 });
-            machine.telemetry_mut().counter_add("pool.pages_recycled", n as u64);
+            let t = machine.telemetry_mut();
+            if t.enabled() {
+                let h = match self.recycled_counter {
+                    Some(h) => h,
+                    None => {
+                        let h = t.metrics_mut().counter_handle("pool.pages_recycled");
+                        self.recycled_counter = Some(h);
+                        h
+                    }
+                };
+                t.metrics_mut().add(h, n as u64);
+            }
             return Ok(base.base());
         }
         let fresh = machine.mmap(n)?;
         machine.note_event(fresh, EventKind::FreeListMiss { pages: n as u32 });
-        machine.telemetry_mut().counter_add("pool.pages_fresh", n as u64);
+        let t = machine.telemetry_mut();
+        if t.enabled() {
+            let h = match self.fresh_counter {
+                Some(h) => h,
+                None => {
+                    let h = t.metrics_mut().counter_handle("pool.pages_fresh");
+                    self.fresh_counter = Some(h);
+                    h
+                }
+            };
+            t.metrics_mut().add(h, n as u64);
+        }
         Ok(fresh)
     }
 
@@ -784,6 +835,44 @@ mod tests {
         assert!(ps.take_free_run(3).is_none(), "only 2 contiguous left");
         assert!(ps.take_free_run(2).is_some());
         assert_eq!(ps.free_page_count(), 0);
+    }
+
+    #[test]
+    fn middle_release_merges_both_neighbours() {
+        // Donate pages 100..102 and 104..106, leaving a hole at 102..104;
+        // donating the hole must fuse everything into one 6-page run.
+        let mut ps = PoolSet::new();
+        ps.donate_page(PageNum(100));
+        ps.donate_page(PageNum(101));
+        ps.donate_page(PageNum(104));
+        ps.donate_page(PageNum(105));
+        assert!(ps.take_free_run(3).is_none(), "two 2-page runs, no 3-run yet");
+        ps.donate_page(PageNum(102));
+        ps.donate_page(PageNum(103));
+        assert_eq!(ps.free_page_count(), 6);
+        let base = ps.take_free_run(6).expect("one fully coalesced run");
+        assert_eq!(base, PageNum(100));
+        assert_eq!(ps.free_page_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_release_keeps_list_sorted_and_coalesced() {
+        // Release runs in descending and interleaved order; the list must
+        // still coalesce to a single run and hand back the lowest base
+        // first (first fit in base order).
+        let mut ps = PoolSet::new();
+        for page in [207u64, 203, 205, 201, 206, 202, 204, 200] {
+            ps.donate_page(PageNum(page));
+        }
+        assert_eq!(ps.free_page_count(), 8);
+        assert_eq!(ps.take_free_run(8), Some(PageNum(200)));
+        // Split takes come from the front of the lowest fitting run.
+        for page in [300u64, 301, 302, 310] {
+            ps.donate_page(PageNum(page));
+        }
+        assert_eq!(ps.take_free_run(2), Some(PageNum(300)));
+        assert_eq!(ps.take_free_run(1), Some(PageNum(302)));
+        assert_eq!(ps.take_free_run(1), Some(PageNum(310)));
     }
 
     #[test]

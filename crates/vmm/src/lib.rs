@@ -56,6 +56,7 @@ pub mod addr;
 pub mod cache;
 pub mod cost;
 pub mod machine;
+pub mod pagetable;
 #[cfg(test)]
 mod proptests;
 pub mod stats;
@@ -66,6 +67,7 @@ pub use addr::{PageNum, VirtAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 pub use cache::{CacheConfig, L1Cache};
 pub use cost::CostModel;
 pub use machine::{AccessKind, Machine, MachineConfig, Protection};
+pub use pagetable::PageTableImpl;
 pub use stats::MachineStats;
 pub use tlb::{Tlb, TlbConfig};
 pub use trap::Trap;

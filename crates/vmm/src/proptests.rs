@@ -203,6 +203,161 @@ fn run_case(rng: &mut TestRng, nops: usize, case: u64) {
     assert_eq!(m.stats().phys_frames_in_use, expected, "case {case}: frame refcounting");
 }
 
+/// Differential test for the page-table implementations: a `Reference`
+/// (flat `HashMap`, no last-translation cache) machine and a `Radix`
+/// machine driven through identical randomized syscall/access sequences
+/// must produce identical results — every `Ok`/`Trap`, the simulated
+/// clock, the full `MachineStats`, and the TLB counters. This is the
+/// guarantee that lets `simperf` call its speedup "free".
+#[test]
+fn radix_machine_is_bit_identical_to_reference() {
+    use crate::cache::CacheConfig;
+    use crate::cost::CostModel;
+    use crate::machine::MachineConfig;
+    use crate::pagetable::PageTableImpl;
+    use crate::tlb::TlbConfig;
+    use dangle_telemetry::TelemetryConfig;
+
+    for case in 0..48u64 {
+        let config = MachineConfig {
+            cost: CostModel::calibrated(),
+            tlb: TlbConfig::default(),
+            cache: CacheConfig::default(),
+            phys_frames: 64, // small, so exhaustion traps are exercised too
+            virt_pages: 1 << 20,
+            telemetry: TelemetryConfig::default(),
+            page_table: PageTableImpl::Reference,
+        };
+        let mut reference = Machine::with_config(config);
+        let mut radix =
+            Machine::with_config(MachineConfig { page_table: PageTableImpl::Radix, ..config });
+        let mut rng = TestRng::new(0xd1ff_0001 + case * 0x9e37_79b9);
+        let mut regions: Vec<(VirtAddr, usize)> = Vec::new();
+
+        for step in 0..300 {
+            let tag = format!("case {case} step {step}");
+            match rng.below(16) {
+                0 | 1 => {
+                    let pages = 1 + rng.below(3) as usize;
+                    let (a, b) = (reference.mmap(pages), radix.mmap(pages));
+                    assert_eq!(a, b, "{tag}: mmap");
+                    if let Ok(base) = a {
+                        regions.push((base, pages));
+                    }
+                }
+                2 if !regions.is_empty() => {
+                    let (a, p) = regions[rng.below(regions.len() as u64) as usize];
+                    assert_eq!(
+                        reference.mmap_fixed(a, p),
+                        radix.mmap_fixed(a, p),
+                        "{tag}: mmap_fixed"
+                    );
+                }
+                3 if !regions.is_empty() => {
+                    let (a, p) = regions[rng.below(regions.len() as u64) as usize];
+                    let (x, y) = (reference.mremap_alias(a, p), radix.mremap_alias(a, p));
+                    assert_eq!(x, y, "{tag}: mremap_alias");
+                    if let Ok(alias) = x {
+                        regions.push((alias, p));
+                    }
+                }
+                4 if regions.len() >= 2 => {
+                    let (src, sp) = regions[rng.below(regions.len() as u64) as usize];
+                    let (dst, dp) = regions[rng.below(regions.len() as u64) as usize];
+                    let p = sp.min(dp);
+                    assert_eq!(
+                        reference.alias_fixed(src, dst, p),
+                        radix.alias_fixed(src, dst, p),
+                        "{tag}: alias_fixed"
+                    );
+                }
+                5 | 6 if !regions.is_empty() => {
+                    let (a, p) = regions[rng.below(regions.len() as u64) as usize];
+                    let prot = match rng.below(3) {
+                        0 => Protection::None,
+                        1 => Protection::Read,
+                        _ => Protection::ReadWrite,
+                    };
+                    assert_eq!(
+                        reference.mprotect(a, p, prot),
+                        radix.mprotect(a, p, prot),
+                        "{tag}: mprotect"
+                    );
+                }
+                7 if !regions.is_empty() => {
+                    let i = rng.below(regions.len() as u64) as usize;
+                    let (a, p) = regions[i];
+                    assert_eq!(reference.munmap(a, p), radix.munmap(a, p), "{tag}: munmap");
+                    // Keep the region so later ops hit unmapped pages too.
+                }
+                8..=10 if !regions.is_empty() => {
+                    let (a, p) = regions[rng.below(regions.len() as u64) as usize];
+                    let off = rng.below((p * 4096 - 8) as u64);
+                    let v = rng.next();
+                    assert_eq!(
+                        reference.store_u64(a.add(off), v),
+                        radix.store_u64(a.add(off), v),
+                        "{tag}: store"
+                    );
+                }
+                11..=13 if !regions.is_empty() => {
+                    let (a, p) = regions[rng.below(regions.len() as u64) as usize];
+                    let off = rng.below((p * 4096 - 8) as u64);
+                    assert_eq!(
+                        reference.load_u64(a.add(off)),
+                        radix.load_u64(a.add(off)),
+                        "{tag}: load"
+                    );
+                }
+                14 if !regions.is_empty() => {
+                    let (a, p) = regions[rng.below(regions.len() as u64) as usize];
+                    let len = 1 + rng.below((p * 4096) as u64 / 2) as usize;
+                    let off = rng.below((p * 4096 - len) as u64 + 1);
+                    let byte = rng.next() as u8;
+                    assert_eq!(
+                        reference.memset(a.add(off), byte, len),
+                        radix.memset(a.add(off), byte, len),
+                        "{tag}: memset"
+                    );
+                    let mut b1 = vec![0u8; len];
+                    let mut b2 = vec![0u8; len];
+                    let r1 = reference.read_bytes(a.add(off), &mut b1);
+                    let r2 = radix.read_bytes(a.add(off), &mut b2);
+                    assert_eq!(r1, r2, "{tag}: read_bytes");
+                    if r1.is_ok() {
+                        assert_eq!(b1, b2, "{tag}: read_bytes contents");
+                    }
+                }
+                15 if regions.len() >= 2 => {
+                    let (src, sp) = regions[rng.below(regions.len() as u64) as usize];
+                    let (dst, dp) = regions[rng.below(regions.len() as u64) as usize];
+                    let len = 1 + rng.below(4096.min((sp.min(dp) * 4096) as u64 / 2)) as usize;
+                    assert_eq!(
+                        reference.copy(dst, src, len),
+                        radix.copy(dst, src, len),
+                        "{tag}: copy"
+                    );
+                }
+                _ => {
+                    reference.dummy_syscall();
+                    radix.dummy_syscall();
+                }
+            }
+        }
+
+        assert_eq!(reference.clock(), radix.clock(), "case {case}: clock");
+        assert_eq!(reference.stats(), radix.stats(), "case {case}: stats");
+        assert_eq!(reference.tlb().hits(), radix.tlb().hits(), "case {case}: tlb hits");
+        assert_eq!(reference.tlb().misses(), radix.tlb().misses(), "case {case}: tlb misses");
+        assert_eq!(reference.cache().hits(), radix.cache().hits(), "case {case}: l1 hits");
+        assert_eq!(
+            reference.cache().misses(),
+            radix.cache().misses(),
+            "case {case}: l1 misses"
+        );
+    }
+}
+
 /// Telemetry accuracy: the registry's per-kind event counters must agree
 /// with `MachineStats` for arbitrary syscall sequences.
 #[test]
