@@ -15,6 +15,8 @@
 
 use std::fmt;
 
+pub use crate::lex::Span;
+
 /// A MiniC type: 64-bit integer or pointer to a named struct.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Type {
@@ -119,6 +121,11 @@ pub enum Expr {
         pool: Option<PoolRef>,
         /// Unique allocation-site id.
         site: u32,
+        /// Set by dangle-lint when every free of this site's alias class is
+        /// `ProvablySafe`: the backend may skip shadow protection.
+        unchecked: bool,
+        /// Source location of the `malloc` keyword.
+        span: Span,
     },
     /// `malloc_array(S, n)`: a contiguous array of `n` structs,
     /// pool-annotated by the transform like a scalar `malloc`.
@@ -131,6 +138,10 @@ pub enum Expr {
         pool: Option<PoolRef>,
         /// Unique allocation-site id (shared numbering with `Malloc`).
         site: u32,
+        /// As for [`Expr::Malloc`]: shadow protection may be skipped.
+        unchecked: bool,
+        /// Source location of the `malloc_array` keyword.
+        span: Span,
     },
     /// Array element address: `base[index]`, of the same pointer type.
     Index {
@@ -145,6 +156,8 @@ pub enum Expr {
         base: Box<Expr>,
         /// Field name.
         field: String,
+        /// Source location of the `->` (the dereference diagnostics cite).
+        span: Span,
     },
     /// Binary operation.
     Binary {
@@ -177,6 +190,8 @@ pub enum LValue {
         base: Expr,
         /// Field name.
         field: String,
+        /// Source location of the `->` (the dereference diagnostics cite).
+        span: Span,
     },
 }
 
@@ -208,6 +223,12 @@ pub enum Stmt {
         pool: Option<PoolRef>,
         /// Unique free-site id.
         site: u32,
+        /// Set by dangle-lint when this site (and every site of its alias
+        /// class) is `ProvablySafe`: the backend may skip the hidden-word
+        /// check and `mprotect`.
+        unchecked: bool,
+        /// Source location of the `free` keyword.
+        span: Span,
     },
     /// Conditional.
     If {
@@ -386,12 +407,16 @@ mod tests {
                             struct_name: "s".into(),
                             pool: None,
                             site: 0,
+                            unchecked: false,
+                            span: Span::NONE,
                         }),
                     },
                     Stmt::ExprStmt(Expr::Malloc {
                         struct_name: "s".into(),
                         pool: None,
                         site: 1,
+                        unchecked: false,
+                        span: Span::NONE,
                     }),
                 ],
             }],

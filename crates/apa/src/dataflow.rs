@@ -1,0 +1,1009 @@
+//! # dangle-lint — flow-sensitive free-site safety analysis
+//!
+//! An intraprocedural abstract interpretation over MiniC function bodies
+//! that classifies every `free` site (see [`Verdict`]):
+//!
+//! - **`DefiniteUAF`** — on every path a pointer to the freed object is
+//!   dereferenced after the free; the runtime detector *will* trap.
+//! - **`DefiniteDoubleFree`** — the site frees an object already freed on
+//!   every path reaching it.
+//! - **`ProvablySafe`** — the freed object is local to the function (never
+//!   escaped through a field, global, call argument or return value), the
+//!   free targets exactly one object, and no use of any alias can reach a
+//!   point after the free. Shadow protection for it is pure overhead.
+//! - **`Unknown`** — anything the analysis cannot prove either way
+//!   (frees through parameters, escaped or summarized objects, ambiguous
+//!   targets). Full runtime protection is kept.
+//!
+//! ## The abstract domain
+//!
+//! Heap objects are named by **recency tokens**: `Site(s)` is *the most
+//! recent* object allocated at malloc site `s`, `Old(s)` summarizes all
+//! older ones. Executing `malloc` at `s` demotes the current `Site(s)` to
+//! `Old(s)` (joining their states) and births a fresh, live `Site(s)` —
+//! this keeps "allocate, use, free" loop bodies precise: each iteration's
+//! object is tracked strongly even though the site is executed many times.
+//!
+//! A pointer value is a set of tokens plus three poison bits
+//! (`may_null`, `top` = unknown target, `interior` = may not point at the
+//! object base). Each token carries `may_live` (some path has not freed
+//! it), the set of free sites that may have freed it, and a sticky
+//! `escaped` bit. Values loaded from fields, globals, parameters and call
+//! returns are `top`; because escape is sticky and recorded *before* a
+//! token can be stored anywhere, a `top` value can never denote a
+//! non-escaped token — which is exactly why `ProvablySafe` only needs to
+//! watch explicit aliases of non-escaped objects.
+//!
+//! Joins at `if` merges are pointwise; `while` bodies run to an
+//! accumulating fixpoint (the domain is finite, all join operations are
+//! monotone). Verdict demotions are monotone side effects, so recording
+//! them during fixpoint iteration is sound.
+//!
+//! ## Elision is per alias class
+//!
+//! A runtime backend must never see a *checked* free of an *unchecked*
+//! allocation (the hidden shadow word would be missing), so protection is
+//! elided for a whole Steensgaard class at a time: a class is **elidable**
+//! iff every one of its free sites — in any function — is `ProvablySafe`.
+//! [`stamp_unchecked`] then marks all malloc *and* free sites of elidable
+//! classes; since the class over-approximates may-alias, checked and
+//! unchecked pointers cannot mix.
+//!
+//! `DefiniteUAF`/`DefiniteDoubleFree` are only claimed at uses that are
+//! *definitely executed*: straight-line statements of functions reachable
+//! from `main` through unconditional calls. This is what makes the
+//! lint↔runtime differential test (`tests/lint.rs`) hold: every definite
+//! verdict reproduces as a runtime detection.
+
+use crate::analysis::Analysis;
+use crate::ast::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Classification of one free site, ordered by severity (joins take the
+/// maximum, so a site can only be demoted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// No aliased use can reach any point after the free; protection for
+    /// this site's class may be elided (if the whole class agrees).
+    ProvablySafe,
+    /// Nothing proven; full runtime protection is kept.
+    Unknown,
+    /// A dereference of the freed object definitely executes after the
+    /// free: compile-time use-after-free.
+    DefiniteUAF,
+    /// The site definitely frees an already-freed object.
+    DefiniteDoubleFree,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::ProvablySafe => "ProvablySafe",
+            Verdict::Unknown => "Unknown",
+            Verdict::DefiniteUAF => "DefiniteUAF",
+            Verdict::DefiniteDoubleFree => "DefiniteDoubleFree",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A structured compile-time finding (only `Definite*` verdicts produce
+/// diagnostics; `Unknown` demotions record a reason in
+/// [`LintReport::reasons`] instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Free-site id the finding is about.
+    pub site: u32,
+    /// Function containing the free.
+    pub func: String,
+    /// What was found.
+    pub verdict: Verdict,
+    /// Location of the `free`.
+    pub span: Span,
+    /// Location of the offending use (dereference, or the second free for
+    /// a double free).
+    pub offending_use: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.verdict {
+            Verdict::DefiniteUAF => "definite use-after-free",
+            Verdict::DefiniteDoubleFree => "definite double free",
+            _ => "finding",
+        };
+        write!(
+            f,
+            "error[dangle-lint]: {kind}\n  --> free at {} (free-site {}) in `{}`",
+            self.span, self.site, self.func
+        )?;
+        if let Some(u) = self.offending_use {
+            write!(f, "\n  offending use at {u}")?;
+        }
+        write!(f, "\n  {}", self.message)
+    }
+}
+
+/// The result of [`lint`]: a verdict for every free site, structured
+/// diagnostics for the definite findings, and the elision sets consumed by
+/// [`stamp_unchecked`].
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Verdict per free-site id (covers every free site in the program).
+    pub verdicts: BTreeMap<u32, Verdict>,
+    /// Free-site id → (function, span of the `free`).
+    pub site_info: BTreeMap<u32, (String, Span)>,
+    /// Structured `Definite*` findings, in program order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Why each non-`ProvablySafe` site was demoted (first reason wins).
+    pub reasons: BTreeMap<u32, String>,
+    /// Alias classes whose free sites are all `ProvablySafe`.
+    pub elidable_classes: BTreeSet<usize>,
+    /// Malloc sites of elidable classes (to be stamped `unchecked`).
+    pub unchecked_malloc_sites: BTreeSet<u32>,
+    /// Free sites of elidable classes (to be stamped `unchecked`).
+    pub unchecked_free_sites: BTreeSet<u32>,
+}
+
+impl LintReport {
+    /// Verdict of `site` (defaults to `Unknown` for ids the program does
+    /// not contain).
+    pub fn verdict(&self, site: u32) -> Verdict {
+        self.verdicts.get(&site).copied().unwrap_or(Verdict::Unknown)
+    }
+
+    /// Number of `ProvablySafe` free sites.
+    pub fn sites_safe(&self) -> u64 {
+        self.count(|v| v == Verdict::ProvablySafe)
+    }
+
+    /// Number of `Unknown` free sites.
+    pub fn sites_unknown(&self) -> u64 {
+        self.count(|v| v == Verdict::Unknown)
+    }
+
+    /// Number of `Definite*` free sites (compile-time bugs).
+    pub fn sites_flagged(&self) -> u64 {
+        self.count(|v| v >= Verdict::DefiniteUAF)
+    }
+
+    fn count(&self, pred: impl Fn(Verdict) -> bool) -> u64 {
+        self.verdicts.values().filter(|v| pred(**v)).count() as u64
+    }
+
+    /// Whether the program has no definite compile-time findings.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders every diagnostic as compiler-style text (empty if clean).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An abstract heap-object name: the most recent allocation of a site, or
+/// the summary of all older ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Tok {
+    /// The most recent object allocated at this malloc site.
+    Site(u32),
+    /// All older objects from this malloc site (weakly updated).
+    Old(u32),
+}
+
+/// Abstract pointer value: a set of possible target objects plus poison
+/// bits.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct AbsPtr {
+    /// May be null (dereference would not be a detection).
+    may_null: bool,
+    /// May target anything escaped or unknown (parameters, loads, calls).
+    top: bool,
+    /// May point into the middle of the object (indexing, arithmetic).
+    interior: bool,
+    /// Possible local targets.
+    toks: BTreeSet<Tok>,
+}
+
+impl AbsPtr {
+    fn top() -> AbsPtr {
+        AbsPtr { may_null: true, top: true, interior: true, toks: BTreeSet::new() }
+    }
+
+    /// Null, integer, or uninitialized value: no targets.
+    fn scalar() -> AbsPtr {
+        AbsPtr { may_null: true, top: false, interior: false, toks: BTreeSet::new() }
+    }
+
+    fn fresh(t: Tok) -> AbsPtr {
+        AbsPtr {
+            may_null: false,
+            top: false,
+            interior: false,
+            toks: [t].into_iter().collect(),
+        }
+    }
+
+    fn join(&self, o: &AbsPtr) -> AbsPtr {
+        AbsPtr {
+            may_null: self.may_null || o.may_null,
+            top: self.top || o.top,
+            interior: self.interior || o.interior,
+            toks: self.toks.union(&o.toks).copied().collect(),
+        }
+    }
+
+    /// The unique, unambiguous target of a must-non-null pointer, if any.
+    fn singleton(&self) -> Option<Tok> {
+        if !self.top && !self.may_null && !self.interior && self.toks.len() == 1 {
+            self.toks.iter().next().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-token abstract state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct TokState {
+    /// Some path reaches here with the object still allocated.
+    may_live: bool,
+    /// Free sites that may have freed the object.
+    freed_by: BTreeSet<u32>,
+    /// The object may be reachable from outside the function (sticky).
+    escaped: bool,
+}
+
+impl TokState {
+    fn live() -> TokState {
+        TokState { may_live: true, freed_by: BTreeSet::new(), escaped: false }
+    }
+
+    fn must_freed(&self) -> bool {
+        !self.may_live && !self.freed_by.is_empty()
+    }
+
+    fn join(&self, o: &TokState) -> TokState {
+        TokState {
+            may_live: self.may_live || o.may_live,
+            freed_by: self.freed_by.union(&o.freed_by).copied().collect(),
+            escaped: self.escaped || o.escaped,
+        }
+    }
+}
+
+/// Abstract machine state at a program point.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct State {
+    vars: BTreeMap<String, AbsPtr>,
+    toks: BTreeMap<Tok, TokState>,
+}
+
+impl State {
+    fn join_with(&mut self, o: &State) {
+        // A var declared on only one path is undefined on the other, so
+        // the join poisons it with `top`/`may_null` — but MUST keep its
+        // tokens: a later use through it still has to demote their free
+        // sites (losing the tokens would let a freed-then-used object
+        // stay `ProvablySafe`).
+        let one_sided = |v: &AbsPtr| {
+            let mut j = v.clone();
+            j.top = true;
+            j.may_null = true;
+            j
+        };
+        let mine = std::mem::take(&mut self.vars);
+        for (k, v) in &mine {
+            let joined = match o.vars.get(k) {
+                Some(ov) => v.join(ov),
+                None => one_sided(v),
+            };
+            self.vars.insert(k.clone(), joined);
+        }
+        for (k, v) in &o.vars {
+            if !self.vars.contains_key(k) {
+                self.vars.insert(k.clone(), one_sided(v));
+            }
+        }
+        for (t, s) in &o.toks {
+            match self.toks.get(t) {
+                Some(mine) => {
+                    let j = mine.join(s);
+                    self.toks.insert(*t, j);
+                }
+                // Allocated on the other path only: its state there stands.
+                None => {
+                    self.toks.insert(*t, s.clone());
+                }
+            }
+        }
+    }
+
+    fn tok_mut(&mut self, t: Tok) -> &mut TokState {
+        self.toks.entry(t).or_insert_with(TokState::live)
+    }
+}
+
+struct Linter {
+    report: LintReport,
+    /// Functions that definitely execute when `main` runs.
+    definite_funcs: BTreeSet<String>,
+    /// Current function name.
+    func: String,
+    /// The current program point definitely executes.
+    definite: bool,
+}
+
+/// Runs the free-site safety analysis over `prog`, seeded with the
+/// Steensgaard `analysis` for the class-granular elision decision.
+pub fn lint(prog: &Program, analysis: &Analysis) -> LintReport {
+    let mut report = LintReport::default();
+    collect_free_sites(prog, &mut report);
+    let definite_funcs = definitely_called(prog);
+    let mut l = Linter {
+        report,
+        definite_funcs,
+        func: String::new(),
+        definite: false,
+    };
+    for f in prog.funcs.iter() {
+        l.func = f.name.clone();
+        l.definite = l.definite_funcs.contains(&f.name);
+        let mut st = State::default();
+        for (p, _) in &f.params {
+            st.vars.insert(p.clone(), AbsPtr::top());
+        }
+        l.block(&f.body, st);
+    }
+    let mut report = l.report;
+
+    // Class-granular elision: a class is elidable iff all of its free
+    // sites (in any function) are ProvablySafe. Classes that are never
+    // freed are vacuously elidable — their objects can never dangle.
+    let mut class_bad: BTreeSet<usize> = BTreeSet::new();
+    for (site, &cid) in &analysis.free_class {
+        if report.verdict(*site) != Verdict::ProvablySafe {
+            class_bad.insert(cid);
+        }
+    }
+    for cid in 0..analysis.classes.len() {
+        if !class_bad.contains(&cid) {
+            report.elidable_classes.insert(cid);
+        }
+    }
+    for (site, cid) in &analysis.site_class {
+        if report.elidable_classes.contains(cid) {
+            report.unchecked_malloc_sites.insert(*site);
+        }
+    }
+    for (site, cid) in &analysis.free_class {
+        if report.elidable_classes.contains(cid) {
+            report.unchecked_free_sites.insert(*site);
+        }
+    }
+    report
+}
+
+/// Sets the `unchecked` annotation on every malloc/free site of an
+/// elidable class (works on the source program or the pool-transformed
+/// one — site ids are preserved by the transform).
+pub fn stamp_unchecked(prog: &mut Program, report: &LintReport) {
+    for f in &mut prog.funcs {
+        stamp_stmts(&mut f.body, report);
+    }
+}
+
+fn stamp_stmts(stmts: &mut [Stmt], r: &LintReport) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { init: Some(e), .. } => stamp_expr(e, r),
+            Stmt::VarDecl { init: None, .. } => {}
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Field { base, .. } = lhs {
+                    stamp_expr(base, r);
+                }
+                stamp_expr(rhs, r);
+            }
+            Stmt::Free { expr, site, unchecked, .. } => {
+                stamp_expr(expr, r);
+                *unchecked = r.unchecked_free_sites.contains(site);
+            }
+            Stmt::If { cond, then, els } => {
+                stamp_expr(cond, r);
+                stamp_stmts(then, r);
+                stamp_stmts(els, r);
+            }
+            Stmt::While { cond, body } => {
+                stamp_expr(cond, r);
+                stamp_stmts(body, r);
+            }
+            Stmt::Return(Some(e)) | Stmt::Print(e) | Stmt::ExprStmt(e) => {
+                stamp_expr(e, r)
+            }
+            Stmt::Return(None) | Stmt::PoolInit { .. } | Stmt::PoolDestroy { .. } => {}
+        }
+    }
+}
+
+fn stamp_expr(e: &mut Expr, r: &LintReport) {
+    match e {
+        Expr::Malloc { site, unchecked, .. } => {
+            *unchecked = r.unchecked_malloc_sites.contains(site);
+        }
+        Expr::MallocArray { site, count, unchecked, .. } => {
+            stamp_expr(count, r);
+            *unchecked = r.unchecked_malloc_sites.contains(site);
+        }
+        Expr::Index { base, index } => {
+            stamp_expr(base, r);
+            stamp_expr(index, r);
+        }
+        Expr::Field { base, .. } => stamp_expr(base, r),
+        Expr::Binary { lhs, rhs, .. } => {
+            stamp_expr(lhs, r);
+            stamp_expr(rhs, r);
+        }
+        Expr::Call { args, .. } => args.iter_mut().for_each(|a| stamp_expr(a, r)),
+        Expr::Int(_) | Expr::Null | Expr::Var(_) => {}
+    }
+}
+
+/// Pre-pass: every free site starts `ProvablySafe` and is only ever
+/// demoted; record its function and span for diagnostics.
+fn collect_free_sites(prog: &Program, r: &mut LintReport) {
+    fn walk(stmts: &[Stmt], func: &str, r: &mut LintReport) {
+        for s in stmts {
+            match s {
+                Stmt::Free { site, span, .. } => {
+                    r.verdicts.insert(*site, Verdict::ProvablySafe);
+                    r.site_info.insert(*site, (func.to_string(), *span));
+                }
+                Stmt::If { then, els, .. } => {
+                    walk(then, func, r);
+                    walk(els, func, r);
+                }
+                Stmt::While { body, .. } => walk(body, func, r),
+                _ => {}
+            }
+        }
+    }
+    for f in &prog.funcs {
+        walk(&f.body, &f.name, r);
+    }
+}
+
+/// Collects every callee mentioned anywhere in an expression (MiniC has no
+/// short-circuit evaluation, so all subexpressions execute).
+fn collect_calls(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Call { callee, args, .. } => {
+            out.push(callee.clone());
+            args.iter().for_each(|a| collect_calls(a, out));
+        }
+        Expr::MallocArray { count, .. } => collect_calls(count, out),
+        Expr::Index { base, index } => {
+            collect_calls(base, out);
+            collect_calls(index, out);
+        }
+        Expr::Field { base, .. } => collect_calls(base, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_calls(lhs, out);
+            collect_calls(rhs, out);
+        }
+        _ => {}
+    }
+}
+
+fn contains_return(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Return(_) => true,
+        Stmt::If { then, els, .. } => contains_return(then) || contains_return(els),
+        Stmt::While { body, .. } => contains_return(body),
+        _ => false,
+    })
+}
+
+/// Callees that definitely execute when the block's top level runs:
+/// calls in straight-line statements and in `if`/`while` conditions
+/// (conditions are always evaluated at least once), stopping at the first
+/// statement after which execution becomes conditional.
+fn definite_callees(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { init: Some(e), .. }
+            | Stmt::Print(e)
+            | Stmt::ExprStmt(e)
+            | Stmt::Return(Some(e))
+            | Stmt::Free { expr: e, .. } => collect_calls(e, &mut out),
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Field { base, .. } = lhs {
+                    collect_calls(base, &mut out);
+                }
+                collect_calls(rhs, &mut out);
+            }
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => {
+                collect_calls(cond, &mut out)
+            }
+            _ => {}
+        }
+        let diverts = match s {
+            Stmt::Return(_) => true,
+            Stmt::If { then, els, .. } => contains_return(then) || contains_return(els),
+            Stmt::While { body, .. } => contains_return(body),
+            _ => false,
+        };
+        if diverts {
+            break;
+        }
+    }
+    out
+}
+
+/// Functions guaranteed to run when `main` runs (fixpoint over the
+/// definite-call edges).
+fn definitely_called(prog: &Program) -> BTreeSet<String> {
+    let mut set: BTreeSet<String> = BTreeSet::new();
+    let mut work = vec!["main".to_string()];
+    while let Some(name) = work.pop() {
+        if !set.insert(name.clone()) {
+            continue;
+        }
+        if let Some(f) = prog.func(&name) {
+            for callee in definite_callees(&f.body) {
+                if !set.contains(&callee) {
+                    work.push(callee);
+                }
+            }
+        }
+    }
+    set
+}
+
+impl Linter {
+    /// Demotes `site` to (at least) `v`; `Definite*` demotions emit one
+    /// diagnostic, `Unknown` demotions record the first reason.
+    fn demote(&mut self, site: u32, v: Verdict, use_span: Option<Span>, why: &str) {
+        let cur = self.report.verdict(site);
+        if v <= cur {
+            return;
+        }
+        self.report.verdicts.insert(site, v);
+        let (func, span) = self
+            .report
+            .site_info
+            .get(&site)
+            .cloned()
+            .unwrap_or_else(|| (self.func.clone(), Span::NONE));
+        self.report.reasons.entry(site).or_insert_with(|| why.to_string());
+        if v >= Verdict::DefiniteUAF {
+            // Replace any diagnostic from a lower definite verdict.
+            self.report.diagnostics.retain(|d| d.site != site);
+            self.report.diagnostics.push(Diagnostic {
+                site,
+                func,
+                verdict: v,
+                span,
+                offending_use: use_span,
+                message: why.to_string(),
+            });
+        }
+    }
+
+    /// Marks every token of `v` escaped; escaping a may-freed object
+    /// demotes the sites that freed it (the outside world can now reach a
+    /// freed object).
+    fn escape_value(&mut self, v: &AbsPtr, st: &mut State, at: Span) {
+        for t in v.toks.clone() {
+            let ts = st.tok_mut(t);
+            ts.escaped = true;
+            let freed: Vec<u32> = ts.freed_by.iter().copied().collect();
+            for site in freed {
+                self.demote(
+                    site,
+                    Verdict::Unknown,
+                    Some(at),
+                    "a pointer to the freed object escapes after the free",
+                );
+            }
+        }
+    }
+
+    /// Records a dereference through `v` at `span`: demotes the free sites
+    /// of every may-freed target, and claims `DefiniteUAF` when the use is
+    /// unambiguous, must-freed, and definitely executed.
+    fn deref_use(&mut self, v: &AbsPtr, span: Span, st: &mut State) {
+        // A `top` value can only denote escaped objects, whose free sites
+        // were already demoted when they were freed (or when they escaped
+        // after the free) — nothing new to learn.
+        for t in v.toks.clone() {
+            let ts = st.tok_mut(t).clone();
+            if ts.freed_by.is_empty() {
+                continue;
+            }
+            let definite_uaf =
+                self.definite && ts.must_freed() && v.singleton() == Some(t);
+            for site in ts.freed_by.iter().copied() {
+                if definite_uaf {
+                    self.demote(
+                        site,
+                        Verdict::DefiniteUAF,
+                        Some(span),
+                        "the freed object is dereferenced on every path after the free",
+                    );
+                } else {
+                    self.demote(
+                        site,
+                        Verdict::Unknown,
+                        Some(span),
+                        "a possibly-freed object may be used after the free",
+                    );
+                }
+            }
+        }
+    }
+
+    /// `malloc` at `site`: the previous most-recent object becomes part of
+    /// the `Old(site)` summary and a fresh live object is born.
+    fn do_malloc(&mut self, site: u32, st: &mut State) -> AbsPtr {
+        let fresh = Tok::Site(site);
+        let old = Tok::Old(site);
+        if let Some(prev) = st.toks.remove(&fresh) {
+            let merged = match st.toks.get(&old) {
+                Some(o) => o.join(&prev),
+                None => prev,
+            };
+            st.toks.insert(old, merged);
+            for v in st.vars.values_mut() {
+                if v.toks.remove(&fresh) {
+                    v.toks.insert(old);
+                }
+            }
+        }
+        st.toks.insert(fresh, TokState::live());
+        AbsPtr::fresh(fresh)
+    }
+
+    fn eval(&mut self, e: &Expr, st: &mut State) -> AbsPtr {
+        match e {
+            Expr::Int(_) | Expr::Null => AbsPtr::scalar(),
+            Expr::Var(name) => match st.vars.get(name) {
+                Some(v) => v.clone(),
+                // Globals (and anything undeclared) are top.
+                None => AbsPtr::top(),
+            },
+            Expr::Malloc { site, .. } => self.do_malloc(*site, st),
+            Expr::MallocArray { site, count, .. } => {
+                self.eval(count, st);
+                self.do_malloc(*site, st)
+            }
+            Expr::Index { base, index } => {
+                let b = self.eval(base, st);
+                self.eval(index, st);
+                // Same object, possibly not its base address.
+                let interior =
+                    b.interior || !matches!(index.as_ref(), Expr::Int(0));
+                AbsPtr { interior, ..b }
+            }
+            Expr::Field { base, span, .. } => {
+                let b = self.eval(base, st);
+                self.deref_use(&b, *span, st);
+                // Loaded values are escaped-or-unknown by construction.
+                AbsPtr::top()
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                let l = self.eval(lhs, st);
+                let r = self.eval(rhs, st);
+                let mut j = l.join(&r);
+                // Arithmetic results keep their targets (so later uses
+                // still demote) but are never unambiguous.
+                if !j.toks.is_empty() || j.top {
+                    j.interior = true;
+                    j.may_null = true;
+                }
+                j
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    let v = self.eval(a, st);
+                    self.escape_value(&v, st, call_span(a));
+                }
+                // The callee can use (and free) anything escaped; frees of
+                // escaped objects were already demoted when they escaped,
+                // so no extra demotion is needed here. The return value
+                // can only be escaped-or-unknown.
+                AbsPtr::top()
+            }
+        }
+    }
+
+    fn do_free(
+        &mut self,
+        site: u32,
+        expr: &Expr,
+        span: Span,
+        st: &mut State,
+    ) {
+        let v = self.eval(expr, st);
+        if v.top {
+            self.demote(
+                site,
+                Verdict::Unknown,
+                None,
+                "frees a pointer with unknown or escaped target",
+            );
+            return;
+        }
+        if v.interior && !v.toks.is_empty() {
+            self.demote(
+                site,
+                Verdict::Unknown,
+                None,
+                "frees a derived pointer that may not be an object base",
+            );
+        }
+        if v.toks.len() > 1 {
+            self.demote(
+                site,
+                Verdict::Unknown,
+                None,
+                "free target is ambiguous between several objects",
+            );
+        }
+        let single = v.toks.len() == 1;
+        for t in v.toks.clone() {
+            let ts = st.tok_mut(t).clone();
+            if single && ts.must_freed() && v.singleton() == Some(t) && self.definite
+            {
+                self.demote(
+                    site,
+                    Verdict::DefiniteDoubleFree,
+                    Some(span),
+                    "the object is already freed on every path reaching this free",
+                );
+            } else if !ts.freed_by.is_empty() {
+                self.demote(
+                    site,
+                    Verdict::Unknown,
+                    Some(span),
+                    "the object may already be freed when this free runs",
+                );
+            }
+            // This free *touches* the object (hidden-word read), so the
+            // earlier frees see a use-after-free.
+            for prev in ts.freed_by.iter().copied() {
+                self.demote(
+                    prev,
+                    Verdict::Unknown,
+                    Some(span),
+                    "the freed object is freed again later",
+                );
+            }
+            if ts.escaped {
+                self.demote(
+                    site,
+                    Verdict::Unknown,
+                    None,
+                    "frees an object that escaped the function",
+                );
+            }
+            if matches!(t, Tok::Old(_)) {
+                self.demote(
+                    site,
+                    Verdict::Unknown,
+                    None,
+                    "frees an object summarized with older allocations",
+                );
+            }
+            // Strong free only when the target is unambiguous AND the
+            // pointer cannot be null (a null free is a runtime no-op that
+            // leaves the object live).
+            let strong = v.singleton() == Some(t);
+            let ts = st.tok_mut(t);
+            ts.freed_by.insert(site);
+            if strong {
+                ts.may_live = false;
+            }
+        }
+    }
+
+    /// Transfers a statement sequence; `None` means every path returned.
+    fn block(&mut self, stmts: &[Stmt], mut st: State) -> Option<State> {
+        for s in stmts {
+            match s {
+                Stmt::VarDecl { name, init, .. } => {
+                    let v = match init {
+                        Some(e) => self.eval(e, &mut st),
+                        None => AbsPtr::scalar(),
+                    };
+                    st.vars.insert(name.clone(), v);
+                }
+                Stmt::Assign { lhs: LValue::Var(name), rhs } => {
+                    let v = self.eval(rhs, &mut st);
+                    if st.vars.contains_key(name) {
+                        st.vars.insert(name.clone(), v);
+                    } else {
+                        // Store to a global: the value escapes.
+                        self.escape_value(&v, &mut st, Span::NONE);
+                    }
+                }
+                Stmt::Assign { lhs: LValue::Field { base, span, .. }, rhs } => {
+                    let rv = self.eval(rhs, &mut st);
+                    let bv = self.eval(base, &mut st);
+                    self.deref_use(&bv, *span, &mut st);
+                    // Stored into the heap: reachable from elsewhere.
+                    self.escape_value(&rv, &mut st, *span);
+                }
+                Stmt::Free { expr, site, span, .. } => {
+                    self.do_free(*site, expr, *span, &mut st);
+                }
+                Stmt::If { cond, then, els } => {
+                    self.eval(cond, &mut st);
+                    let saved = self.definite;
+                    self.definite = false;
+                    let t = self.block(then, st.clone());
+                    let e = self.block(els, st);
+                    match (t, e) {
+                        (None, None) => {
+                            self.definite = saved;
+                            return None;
+                        }
+                        (Some(a), None) | (None, Some(a)) => {
+                            st = a;
+                            // The surviving path is conditional from here.
+                            self.definite = false;
+                        }
+                        (Some(mut a), Some(b)) => {
+                            a.join_with(&b);
+                            st = a;
+                            self.definite = saved;
+                        }
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    let saved = self.definite;
+                    self.definite = false;
+                    let mut acc = st;
+                    loop {
+                        let mut head = acc.clone();
+                        self.eval(cond, &mut head);
+                        let mut next = acc.clone();
+                        next.join_with(&head);
+                        if let Some(out) = self.block(body, head) {
+                            next.join_with(&out);
+                        }
+                        if next == acc {
+                            break;
+                        }
+                        acc = next;
+                    }
+                    st = acc;
+                    // After the loop, execution is definite again unless
+                    // the body could have returned out of the function.
+                    self.definite = saved && !contains_return(body);
+                }
+                Stmt::Return(e) => {
+                    if let Some(e) = e {
+                        let v = self.eval(e, &mut st);
+                        self.escape_value(&v, &mut st, Span::NONE);
+                    }
+                    return None;
+                }
+                Stmt::Print(e) | Stmt::ExprStmt(e) => {
+                    self.eval(e, &mut st);
+                }
+                Stmt::PoolInit { .. } | Stmt::PoolDestroy { .. } => {}
+            }
+        }
+        Some(st)
+    }
+}
+
+/// Best-effort span for diagnostics about a call argument.
+fn call_span(e: &Expr) -> Span {
+    match e {
+        Expr::Field { span, .. }
+        | Expr::Malloc { span, .. }
+        | Expr::MallocArray { span, .. } => *span,
+        Expr::Index { base, .. } => call_span(base),
+        _ => Span::NONE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::parse::parse;
+
+    fn lint_src(src: &str) -> LintReport {
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog);
+        lint(&prog, &a)
+    }
+
+    #[test]
+    fn straight_line_uaf_is_definite() {
+        let r = lint_src(
+            "struct s { v: int }\nfn main() {\n  var p: ptr<s> = malloc(s);\n  free(p);\n  print(p->v);\n}",
+        );
+        assert_eq!(r.verdict(0), Verdict::DefiniteUAF);
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!((d.span.line, d.span.col), (4, 3));
+        assert_eq!(d.offending_use.map(|s| s.line), Some(5));
+        assert!(r.render().contains("definite use-after-free"), "{}", r.render());
+    }
+
+    #[test]
+    fn alloc_use_free_is_provably_safe_and_elidable() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn main() {
+               var i: int = 0;
+               while (i < 10) {
+                 var p: ptr<s> = malloc(s);
+                 p->v = i;
+                 print(p->v);
+                 free(p);
+                 i = i + 1;
+               }
+             }",
+        );
+        assert_eq!(r.verdict(0), Verdict::ProvablySafe);
+        assert_eq!(r.elidable_classes.len(), 1);
+        assert!(r.unchecked_malloc_sites.contains(&0));
+        assert!(r.unchecked_free_sites.contains(&0));
+    }
+
+    #[test]
+    fn figure_one_frees_are_unknown_not_elided() {
+        let prog = parse(crate::parse::FIGURE_1).unwrap();
+        let a = analyze(&prog);
+        let r = lint(&prog, &a);
+        // The free goes through a parameter: intraprocedurally unknown.
+        assert_eq!(r.verdict(0), Verdict::Unknown);
+        assert!(r.elidable_classes.is_empty());
+        assert!(r.is_clean(), "no false definite findings: {}", r.render());
+    }
+
+    #[test]
+    fn double_free_is_definite() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn main() {
+               var p: ptr<s> = malloc(s);
+               free(p);
+               free(p);
+             }",
+        );
+        assert_eq!(r.verdict(1), Verdict::DefiniteDoubleFree);
+        // The first free's object is touched again: not safe either.
+        assert_eq!(r.verdict(0), Verdict::Unknown);
+        assert!(r.render().contains("definite double free"));
+    }
+
+    #[test]
+    fn escaped_pointers_are_never_safe() {
+        let r = lint_src(
+            "struct s { v: int }
+             global g: ptr<s>;
+             fn main() {
+               var p: ptr<s> = malloc(s);
+               g = p;
+               free(p);
+             }",
+        );
+        assert_eq!(r.verdict(0), Verdict::Unknown);
+        assert!(r.elidable_classes.is_empty());
+    }
+}

@@ -2,6 +2,52 @@
 
 use std::fmt;
 
+/// A source location (1-based line and column) attached to tokens and,
+/// through the parser, to the AST nodes diagnostics point at.
+///
+/// Spans are *metadata*: two ASTs that differ only in spans are the same
+/// program, so `PartialEq` ignores the line/column (pretty-printing and
+/// re-parsing a program must round-trip to an equal AST).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Span {
+    /// 1-based line number (0 = unknown).
+    pub line: u32,
+    /// 1-based column number (0 = unknown).
+    pub col: u32,
+}
+
+impl Span {
+    /// The unknown location (synthesized nodes).
+    pub const NONE: Span = Span { line: 0, col: 0 };
+
+    /// Whether this span carries a real location.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
 /// A lexical token.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Token {
@@ -99,13 +145,35 @@ impl std::error::Error for LexError {}
 /// # Errors
 /// Returns a [`LexError`] on unknown characters or malformed literals.
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Ok(lex_spanned(src)?.0)
+}
+
+/// Tokenizes MiniC source, also returning the [`Span`] (line/column) of
+/// each token. `spans[i]` locates `tokens[i]`.
+///
+/// # Errors
+/// Returns a [`LexError`] on unknown characters or malformed literals.
+pub fn lex_spanned(src: &str) -> Result<(Vec<Token>, Vec<Span>), LexError> {
     let b = src.as_bytes();
     let mut out = Vec::new();
+    let mut spans = Vec::new();
     let mut i = 0;
+    let mut line: u32 = 1;
+    let mut line_start: usize = 0;
+    macro_rules! here {
+        ($start:expr) => {
+            Span { line, col: ($start - line_start + 1) as u32 }
+        };
+    }
     while i < b.len() {
         let c = b[i];
         match c {
-            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'\n' => {
+                i += 1;
+                line += 1;
+                line_start = i;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
             b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
                 while i < b.len() && b[i] != b'\n' {
                     i += 1;
@@ -122,6 +190,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("integer literal `{text}` out of range"),
                 })?;
                 out.push(Token::Int(v));
+                spans.push(here!(start));
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
@@ -148,6 +217,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     _ => Token::Ident(word.to_string()),
                 };
                 out.push(tok);
+                spans.push(here!(start));
             }
             _ => {
                 let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
@@ -189,11 +259,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 };
                 out.push(Token::Punct(punct));
+                spans.push(here!(i));
                 i += len;
             }
         }
     }
-    Ok(out)
+    Ok((out, spans))
 }
 
 #[cfg(test)]
@@ -260,6 +331,17 @@ mod tests {
         let err = lex("a $ b").unwrap_err();
         assert_eq!(err.pos, 2);
         assert!(err.to_string().contains('$'));
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let (toks, spans) = lex_spanned("free(p);\n  p = 1;").unwrap();
+        assert_eq!(toks.len(), spans.len());
+        assert_eq!((spans[0].line, spans[0].col), (1, 1)); // `free`
+        assert_eq!((spans[5].line, spans[5].col), (2, 3)); // `p` on line 2
+        assert_eq!(spans[0].to_string(), "1:1");
+        assert!(!Span::NONE.is_known());
+        assert_eq!(Span::NONE.to_string(), "?:?");
     }
 
     #[test]

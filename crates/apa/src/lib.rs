@@ -18,7 +18,11 @@
 //! * [`pretty`] — source renderer (the transformed running example prints
 //!   exactly the shape of the paper's Figure 2);
 //! * [`validate`] — static well-formedness checking of transformed
-//!   programs (pool scoping, argument threading, destroy-on-every-path).
+//!   programs (pool scoping, argument threading, destroy-on-every-path);
+//! * [`dataflow`] — **dangle-lint**: the flow-sensitive free-site safety
+//!   analysis that reports definite use-after-free/double-free at compile
+//!   time and proves sites safe so runtime shadow protection can be
+//!   elided ([`pool_allocate_with_lint`]).
 //!
 //! ```rust
 //! use dangle_apa::{parse, pool_allocate, to_source, FIGURE_1};
@@ -34,6 +38,7 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod dataflow;
 pub mod lex;
 pub mod parse;
 pub mod pretty;
@@ -41,8 +46,9 @@ pub mod transform;
 pub mod validate;
 
 pub use analysis::{analyze, Analysis, HeapClass};
-pub use ast::{BinOp, Expr, FuncDef, LValue, Program, Stmt, StructDef, Type};
+pub use ast::{BinOp, Expr, FuncDef, LValue, Program, Span, Stmt, StructDef, Type};
+pub use dataflow::{lint, stamp_unchecked, Diagnostic, LintReport, Verdict};
 pub use parse::{parse, ParseError, FIGURE_1};
 pub use pretty::to_source;
-pub use transform::{pool_allocate, pool_name};
+pub use transform::{pool_allocate, pool_allocate_with_lint, pool_name};
 pub use validate::{validate, ValidateError};

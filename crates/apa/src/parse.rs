@@ -1,7 +1,7 @@
 //! Recursive-descent parser for MiniC.
 
 use crate::ast::*;
-use crate::lex::{lex, Keyword, LexError, Punct, Token};
+use crate::lex::{lex_spanned, Keyword, LexError, Punct, Token};
 use std::fmt;
 
 /// A parse error.
@@ -9,13 +9,19 @@ use std::fmt;
 pub struct ParseError {
     /// Token index of the error (not byte offset).
     pub at: usize,
+    /// Source location of the offending token (NONE when unavailable).
+    pub span: Span,
     /// Description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.at, self.message)
+        if self.span.is_known() {
+            write!(f, "parse error at {}: {}", self.span, self.message)
+        } else {
+            write!(f, "parse error at token {}: {}", self.at, self.message)
+        }
     }
 }
 
@@ -23,12 +29,13 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { at: 0, message: e.to_string() }
+        ParseError { at: 0, span: Span::NONE, message: e.to_string() }
     }
 }
 
 struct Parser {
     toks: Vec<Token>,
+    spans: Vec<Span>,
     pos: usize,
     next_malloc_site: u32,
     next_free_site: u32,
@@ -40,14 +47,20 @@ struct Parser {
 /// Returns a [`ParseError`] with the offending token index on malformed
 /// input.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, next_malloc_site: 0, next_free_site: 0 };
+    let (toks, spans) = lex_spanned(src)?;
+    let mut p =
+        Parser { toks, spans, pos: 0, next_malloc_site: 0, next_free_site: 0 };
     p.program()
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
         self.toks.get(self.pos)
+    }
+
+    /// Span of the token about to be consumed (NONE at end of input).
+    fn here(&self) -> Span {
+        self.spans.get(self.pos).copied().unwrap_or(Span::NONE)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -57,7 +70,12 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { at: self.pos, message: message.into() })
+        let span = self
+            .spans
+            .get(self.pos.min(self.spans.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(Span::NONE);
+        Err(ParseError { at: self.pos, span, message: message.into() })
     }
 
     fn expect_punct(&mut self, p: Punct) -> Result<(), ParseError> {
@@ -195,6 +213,7 @@ impl Parser {
                 Ok(Stmt::VarDecl { name, ty, init })
             }
             Some(Token::Keyword(Keyword::Free)) => {
+                let span = self.here();
                 self.bump();
                 self.expect_punct(Punct::LParen)?;
                 let e = self.expr()?;
@@ -202,7 +221,7 @@ impl Parser {
                 self.expect_punct(Punct::Semi)?;
                 let site = self.next_free_site;
                 self.next_free_site += 1;
-                Ok(Stmt::Free { expr: e, pool: None, site })
+                Ok(Stmt::Free { expr: e, pool: None, site, unchecked: false, span })
             }
             Some(Token::Keyword(Keyword::If)) => {
                 self.bump();
@@ -251,8 +270,8 @@ impl Parser {
                 if self.eat_punct(Punct::Assign) {
                     let lhs = match e {
                         Expr::Var(name) => LValue::Var(name),
-                        Expr::Field { base, field } => {
-                            LValue::Field { base: *base, field }
+                        Expr::Field { base, field, span } => {
+                            LValue::Field { base: *base, field, span }
                         }
                         _ => return self.err("invalid assignment target"),
                     };
@@ -315,9 +334,10 @@ impl Parser {
     fn postfix(&mut self) -> Result<Expr, ParseError> {
         let mut e = self.primary()?;
         loop {
+            let span = self.here();
             if self.eat_punct(Punct::Arrow) {
                 let field = self.ident()?;
-                e = Expr::Field { base: Box::new(e), field };
+                e = Expr::Field { base: Box::new(e), field, span };
             } else if self.eat_punct(Punct::LBracket) {
                 let index = self.expr()?;
                 self.expect_punct(Punct::RBracket)?;
@@ -330,6 +350,7 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.here();
         match self.bump() {
             Some(Token::Int(v)) => Ok(Expr::Int(v)),
             Some(Token::Keyword(Keyword::Null)) => Ok(Expr::Null),
@@ -339,7 +360,13 @@ impl Parser {
                 self.expect_punct(Punct::RParen)?;
                 let site = self.next_malloc_site;
                 self.next_malloc_site += 1;
-                Ok(Expr::Malloc { struct_name, pool: None, site })
+                Ok(Expr::Malloc {
+                    struct_name,
+                    pool: None,
+                    site,
+                    unchecked: false,
+                    span,
+                })
             }
             Some(Token::Keyword(Keyword::MallocArray)) => {
                 self.expect_punct(Punct::LParen)?;
@@ -354,6 +381,8 @@ impl Parser {
                     count: Box::new(count),
                     pool: None,
                     site,
+                    unchecked: false,
+                    span,
                 })
             }
             Some(Token::Punct(Punct::LParen)) => {
@@ -490,7 +519,7 @@ mod tests {
     #[test]
     fn field_chains() {
         let prog = parse("struct s { next: ptr<s>, val: int } fn main() { var p: ptr<s> = null; p->next->val = 3; }").unwrap();
-        let Stmt::Assign { lhs: LValue::Field { base, field }, .. } = &prog.funcs[0].body[1]
+        let Stmt::Assign { lhs: LValue::Field { base, field, .. }, .. } = &prog.funcs[0].body[1]
         else {
             panic!()
         };
@@ -525,6 +554,26 @@ mod tests {
         assert!(parse("fn main() { var x: bogus; }").is_err());
         assert!(parse("fn main() { 1 + ; }").is_err());
         assert!(parse("fn main() { (1 = 2); }").is_err());
+    }
+
+    #[test]
+    fn spans_point_at_source_lines() {
+        let prog = parse(
+            "struct s { v: int }\nfn main() {\n    var p: ptr<s> = malloc(s);\n    free(p);\n    print(p->v);\n}",
+        )
+        .unwrap();
+        let body = &prog.funcs[0].body;
+        let Stmt::VarDecl { init: Some(Expr::Malloc { span: m, .. }), .. } = &body[0]
+        else {
+            panic!()
+        };
+        assert_eq!((m.line, m.col), (3, 21));
+        let Stmt::Free { span: f, .. } = &body[1] else { panic!() };
+        assert_eq!((f.line, f.col), (4, 5));
+        let Stmt::Print(Expr::Field { span: u, .. }) = &body[2] else { panic!() };
+        assert_eq!(u.line, 5);
+        let err = parse("fn main() {\n  var x: bogus;\n}").unwrap_err();
+        assert!(err.to_string().contains("2:"), "{err}");
     }
 
     #[test]

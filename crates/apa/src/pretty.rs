@@ -56,7 +56,7 @@ fn write_stmts(out: &mut String, stmts: &[Stmt], level: usize) {
             Stmt::Assign { lhs, rhs } => {
                 let l = match lhs {
                     LValue::Var(v) => v.clone(),
-                    LValue::Field { base, field } => format!("{}->{field}", expr(base)),
+                    LValue::Field { base, field, .. } => format!("{}->{field}", expr(base)),
                 };
                 let _ = writeln!(out, "{l} = {};", expr(rhs));
             }
@@ -144,7 +144,7 @@ fn expr(e: &Expr) -> String {
             format!("poolalloc_array({p}, {struct_name}, {})", expr(count))
         }
         Expr::Index { base, index } => format!("{}[{}]", expr(base), expr(index)),
-        Expr::Field { base, field } => format!("{}->{field}", expr(base)),
+        Expr::Field { base, field, .. } => format!("{}->{field}", expr(base)),
         Expr::Binary { op, lhs, rhs } => {
             format!("({} {} {})", expr(lhs), op_str(*op), expr(rhs))
         }

@@ -38,6 +38,20 @@ pub fn pool_allocate(prog: &Program) -> (Program, Analysis) {
     (out, analysis)
 }
 
+/// [`pool_allocate`] plus the dangle-lint elision pass: runs the
+/// flow-sensitive free-site analysis ([`crate::dataflow::lint`]) on the
+/// source program and stamps the malloc/free sites of every *elidable*
+/// alias class (all of its free sites `ProvablySafe`) with the `unchecked`
+/// annotation, so shadow backends can skip protection for them.
+pub fn pool_allocate_with_lint(
+    prog: &Program,
+) -> (Program, Analysis, crate::dataflow::LintReport) {
+    let (mut out, analysis) = pool_allocate(prog);
+    let report = crate::dataflow::lint(prog, &analysis);
+    crate::dataflow::stamp_unchecked(&mut out, &report);
+    (out, analysis, report)
+}
+
 fn transform_func(f: &mut FuncDef, a: &Analysis) {
     f.pool_params = a.pool_params_of(&f.name).into_iter().map(pool_name).collect();
     let owned: Vec<usize> = a.owns.get(&f.name).cloned().unwrap_or_default();
@@ -77,7 +91,7 @@ fn rewrite_stmts(stmts: &mut Vec<Stmt>, a: &Analysis, owned: &[usize]) {
                 }
                 rewrite_expr(rhs, a);
             }
-            Stmt::Free { expr, pool, site } => {
+            Stmt::Free { expr, pool, site, .. } => {
                 rewrite_expr(expr, a);
                 if let Some(&cid) = a.free_class.get(site) {
                     *pool = Some(pool_name(cid));

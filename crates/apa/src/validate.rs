@@ -17,7 +17,7 @@
 //! The property tests run it over every randomly generated program.
 
 use crate::ast::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A structural violation in a transformed program.
@@ -25,13 +25,20 @@ use std::fmt;
 pub struct ValidateError {
     /// Function in which the violation occurred.
     pub func: String,
+    /// Source location of the violation (NONE when the construct was
+    /// synthesized and carries no span).
+    pub span: Span,
     /// Description of the violation.
     pub message: String,
 }
 
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "in `{}`: {}", self.func, self.message)
+        if self.span.is_known() {
+            write!(f, "in `{}` at {}: {}", self.func, self.span, self.message)
+        } else {
+            write!(f, "in `{}`: {}", self.func, self.message)
+        }
     }
 }
 
@@ -45,7 +52,15 @@ struct Checker<'p> {
 
 impl Checker<'_> {
     fn err(&mut self, message: String) {
-        self.errors.push(ValidateError { func: self.func.name.clone(), message });
+        self.err_at(Span::NONE, message);
+    }
+
+    fn err_at(&mut self, span: Span, message: String) {
+        self.errors.push(ValidateError {
+            func: self.func.name.clone(),
+            span,
+            message,
+        });
     }
 
     fn check_pool_ref(&mut self, pool: &Option<PoolRef>, scope: &HashSet<String>, what: &str) {
@@ -127,19 +142,25 @@ impl Checker<'_> {
                     }
                     self.check_expr(rhs, scope);
                 }
-                Stmt::Free { expr, pool, .. } => {
+                Stmt::Free { expr, pool, span, .. } => {
                     self.check_expr(expr, scope);
-                    // A free may legitimately carry no pool: when the
-                    // points-to analysis finds NO malloc site in the freed
-                    // pointer's class, the (sound, over-approximating)
-                    // unification guarantees the pointer can only be null
-                    // at run time, and `free(null)` is a no-op. Only a
-                    // *named but out-of-scope* pool is an error.
+                    // A transformed free may legitimately carry no pool:
+                    // when the points-to analysis finds NO malloc site in
+                    // the freed pointer's class, the (sound,
+                    // over-approximating) unification guarantees the
+                    // pointer can only be null at run time, and
+                    // `free(null)` is a no-op. Only a *named but
+                    // out-of-scope* pool is an error here; source-mode
+                    // validation rejects the class-less free itself (see
+                    // `validate`).
                     if let Some(pname) = pool {
                         if !scope.contains(pname) {
-                            self.err(format!(
-                                "poolfree uses pool `{pname}` which is not in scope"
-                            ));
+                            self.err_at(
+                                *span,
+                                format!(
+                                    "poolfree uses pool `{pname}` which is not in scope"
+                                ),
+                            );
                         }
                     }
                 }
@@ -211,6 +232,67 @@ impl Checker<'_> {
     }
 }
 
+/// Program-wide free-site checks:
+///
+/// 1. duplicate free-site ids (always an error — the parser numbers sites
+///    uniquely, so a duplicate means a corrupted or hand-built AST, and
+///    every downstream map keyed by site id would silently merge them);
+/// 2. in source mode (`require_pools == false`): a `free` of a pointer
+///    whose alias class contains no allocation site — nothing this
+///    pointer can legally hold besides null, so the free is almost
+///    certainly a bug. (In transformed programs the same shape is the
+///    sanctioned pool-less encoding of a provably-null free.)
+fn check_free_sites(
+    prog: &Program,
+    require_pools: bool,
+    errors: &mut Vec<ValidateError>,
+) {
+    fn walk<'p>(stmts: &'p [Stmt], f: &mut impl FnMut(&'p Stmt)) {
+        for s in stmts {
+            match s {
+                Stmt::Free { .. } => f(s),
+                Stmt::If { then, els, .. } => {
+                    walk(then, f);
+                    walk(els, f);
+                }
+                Stmt::While { body, .. } => walk(body, f),
+                _ => {}
+            }
+        }
+    }
+    let analysis =
+        if require_pools { None } else { Some(crate::analysis::analyze(prog)) };
+    let mut seen: HashMap<u32, Span> = HashMap::new();
+    for func in &prog.funcs {
+        walk(&func.body, &mut |s| {
+            let Stmt::Free { expr, site, span, .. } = s else { return };
+            if let Some(first) = seen.insert(*site, *span) {
+                errors.push(ValidateError {
+                    func: func.name.clone(),
+                    span: *span,
+                    message: format!(
+                        "duplicate free-site id {site} (first seen at {first})"
+                    ),
+                });
+            }
+            if let Some(a) = &analysis {
+                if !a.free_class.contains_key(site)
+                    && !matches!(expr, Expr::Null)
+                {
+                    errors.push(ValidateError {
+                        func: func.name.clone(),
+                        span: *span,
+                        message: format!(
+                            "free (site {site}) of a pointer whose class has no \
+                             allocation site: it can only ever be null"
+                        ),
+                    });
+                }
+            }
+        });
+    }
+}
+
 /// Validates a (transformed) program; untransformed programs are trivially
 /// valid when their `malloc`/`free` carry no pool annotations and no pool
 /// statements exist — pass `require_pools = false` for those.
@@ -219,6 +301,7 @@ impl Checker<'_> {
 /// Returns every violation found (empty `Ok` means well-formed).
 pub fn validate(prog: &Program, require_pools: bool) -> Result<(), Vec<ValidateError>> {
     let mut errors = Vec::new();
+    check_free_sites(prog, require_pools, &mut errors);
     for f in &prog.funcs {
         let mut checker = Checker { prog, func: f, errors: Vec::new() };
         let mut scope: HashSet<String> = f.pool_params.iter().cloned().collect();
@@ -339,6 +422,60 @@ mod tests {
             errs.iter().any(|e| e.to_string().contains("pool args")),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn never_allocated_class_free_rejected_in_source_mode() {
+        let src = "struct s { v: int }
+fn main() {
+    var p: ptr<s> = null;
+    free(p);
+}";
+        let errs = validate(&parse(src).unwrap(), false).unwrap_err();
+        assert!(
+            errs[0].to_string().contains("no allocation site"),
+            "{errs:?}"
+        );
+        // The error points at the actual `free` line.
+        assert_eq!(errs[0].span.line, 4);
+
+        // A literal free(null) stays a legal no-op.
+        validate(&parse("fn main() { free(null); }").unwrap(), false).unwrap();
+
+        // With a malloc in the class, the same shape is fine.
+        let ok = "struct s { v: int }
+                  fn main() { var p: ptr<s> = malloc(s); free(p); }";
+        validate(&parse(ok).unwrap(), false).unwrap();
+    }
+
+    #[test]
+    fn duplicate_free_site_ids_rejected() {
+        let mut prog = parse(
+            "struct s { v: int }
+             fn main() {
+                 var p: ptr<s> = malloc(s);
+                 var q: ptr<s> = malloc(s);
+                 free(p);
+                 free(q);
+             }",
+        )
+        .unwrap();
+        // Corrupt the AST: both frees claim site 0.
+        fn clobber(stmts: &mut [Stmt]) {
+            for s in stmts {
+                if let Stmt::Free { site, .. } = s {
+                    *site = 0;
+                }
+            }
+        }
+        clobber(&mut prog.funcs[0].body);
+        let errs = validate(&prog, false).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.to_string().contains("duplicate free-site id")),
+            "{errs:?}"
+        );
+        // Duplicates are structural corruption in transformed mode too.
+        assert!(validate(&prog, true).is_err());
     }
 
     #[test]

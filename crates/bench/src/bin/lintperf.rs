@@ -1,0 +1,339 @@
+//! **lintperf** — what the dangle-lint elision pass buys at runtime.
+//!
+//! Runs a suite of MiniC programs — server-style session loops modelled on
+//! the Table 1 servers (fingerd/ftpd/ghttpd), the paper's Figure 1 running
+//! example, and an injected-UAF corpus — through the full pipeline twice:
+//!
+//! * **off**: [`pool_allocate`] only — every site keeps shadow protection;
+//! * **on**: [`pool_allocate_with_lint`] — `ProvablySafe` classes are
+//!   stamped `unchecked` and the shadow-pool backend routes them straight
+//!   to the pool allocator (no shadow alias, no `PROT_NONE`).
+//!
+//! Asserted on every program: detection results and program output are
+//! identical with the pass on and off (the elision is behaviour-preserving
+//! by the lint soundness argument, and this binary re-proves it), no clean
+//! program is flagged `Definite*`, and on at least one server workload the
+//! `mremap`+`mprotect` syscall count is *strictly* lower with the pass on.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin lintperf
+//! ```
+//!
+//! `LINTPERF_QUICK=1` shrinks the session loops for CI smoke runs. The
+//! artifact (`BENCH_lintperf.json`) carries per-workload verdict counts,
+//! syscall/cycle deltas, and the `shadow.elided` telemetry counter.
+
+use dangle_apa::{parse, pool_allocate, pool_allocate_with_lint, LintReport, FIGURE_1};
+use dangle_bench::{render_table, Artifact};
+use dangle_interp::backend::ShadowPoolBackend;
+use dangle_interp::{is_detection, run};
+use dangle_telemetry::Json;
+use dangle_vmm::{Machine, MachineStats};
+
+const FUEL: u64 = 50_000_000;
+
+/// A suite entry: MiniC source plus what we expect of it.
+struct Program {
+    name: &'static str,
+    kind: &'static str, // "server" | "figure1" | "injected-uaf"
+    src: String,
+    expect_detection: bool,
+}
+
+/// fingerd-style: one request record per query, used and retired inline.
+/// Every site is ProvablySafe — full elision.
+fn fingerd(requests: u64) -> String {
+    format!(
+        "struct req {{ user: int, len: int }}
+         fn main() {{
+             var n: int = 0;
+             while (n < {requests}) {{
+                 var q: ptr<req> = malloc(req);
+                 q->user = n * 7;
+                 q->len = n + 3;
+                 print(q->user + q->len);
+                 free(q);
+                 n = n + 1;
+             }}
+         }}"
+    )
+}
+
+/// ftpd-style: a session record plus a per-transfer buffer array, freed on
+/// both sides of a branch. Still ProvablySafe throughout.
+fn ftpd(sessions: u64) -> String {
+    format!(
+        "struct sess {{ id: int, bytes: int }}
+         struct buf {{ data: int }}
+         fn main() {{
+             var s: int = 0;
+             while (s < {sessions}) {{
+                 var c: ptr<sess> = malloc(sess);
+                 c->id = s;
+                 var b: ptr<buf> = malloc_array(buf, 8);
+                 var i: int = 0;
+                 while (i < 8) {{
+                     b[i]->data = s + i * 2;
+                     c->bytes = c->bytes + b[i]->data;
+                     i = i + 1;
+                 }}
+                 print(c->bytes);
+                 if (c->bytes < 100) {{ free(b); }} else {{ free(b); }}
+                 free(c);
+                 s = s + 1;
+             }}
+         }}"
+    )
+}
+
+/// ghttpd-style: per-request responses retire inline (elidable), but the
+/// connection list lives in a global and is torn down through it — those
+/// frees stay Unknown and keep full protection. Class-granular elision in
+/// one program.
+fn ghttpd(requests: u64) -> String {
+    format!(
+        "struct conn {{ fd: int, next: ptr<conn> }}
+         struct resp {{ code: int, size: int }}
+         global live: ptr<conn>;
+         fn main() {{
+             var r: int = 0;
+             while (r < {requests}) {{
+                 var c: ptr<conn> = malloc(conn);
+                 c->fd = r;
+                 c->next = live;
+                 live = c;
+                 var p: ptr<resp> = malloc(resp);
+                 p->code = 200;
+                 p->size = r * 100;
+                 print(p->code + p->size);
+                 free(p);
+                 r = r + 1;
+             }}
+             while (live != null) {{
+                 var t: ptr<conn> = live;
+                 live = t->next;
+                 free(t);
+             }}
+         }}"
+    )
+}
+
+fn suite(quick: bool) -> Vec<Program> {
+    let n: u64 = if quick { 50 } else { 2000 };
+    let mut v = vec![
+        Program {
+            name: "fingerd",
+            kind: "server",
+            src: fingerd(n),
+            expect_detection: false,
+        },
+        Program {
+            name: "ftpd",
+            kind: "server",
+            src: ftpd(n / 2),
+            expect_detection: false,
+        },
+        Program {
+            name: "ghttpd",
+            kind: "server",
+            src: ghttpd(n / 2),
+            expect_detection: false,
+        },
+        Program {
+            name: "figure1",
+            kind: "figure1",
+            src: FIGURE_1.to_string(),
+            expect_detection: true,
+        },
+    ];
+    // Injected-UAF corpus: the detector must fire identically on and off.
+    let uafs: [(&'static str, &'static str); 4] = [
+        (
+            "uaf-straight",
+            "struct s { v: int }
+             fn main() { var p: ptr<s> = malloc(s); p->v = 1; free(p); print(p->v); }",
+        ),
+        (
+            "double-free",
+            "struct s { v: int }
+             fn main() { var p: ptr<s> = malloc(s); free(p); free(p); }",
+        ),
+        (
+            "uaf-branch",
+            "struct s { v: int }
+             fn main() {
+                 var p: ptr<s> = malloc(s);
+                 var c: int = 1;
+                 if (c < 2) { free(p); }
+                 print(p->v);
+             }",
+        ),
+        (
+            "uaf-loop",
+            "struct s { v: int }
+             fn main() {
+                 var p: ptr<s> = malloc(s);
+                 free(p);
+                 var i: int = 0;
+                 while (i < 2) { print(p->v); i = i + 1; }
+             }",
+        ),
+    ];
+    for (name, src) in uafs {
+        v.push(Program {
+            name,
+            kind: "injected-uaf",
+            src: src.to_string(),
+            expect_detection: true,
+        });
+    }
+    v
+}
+
+/// One measured run. `lint_on` selects the pipeline; the lint counters
+/// (`lint.sites_*`) are published into the machine's telemetry from the
+/// report so they land in the same metrics snapshot as `shadow.elided`.
+struct RunResult {
+    output: Vec<i64>,
+    detected: bool,
+    stats: MachineStats,
+    cycles: u64,
+    elided: u64,
+    report: Option<LintReport>,
+}
+
+fn run_once(src: &str, lint_on: bool) -> RunResult {
+    let prog = parse(src).expect("suite program parses");
+    let (transformed, report) = if lint_on {
+        let (t, _, r) = pool_allocate_with_lint(&prog);
+        (t, Some(r))
+    } else {
+        let (t, _) = pool_allocate(&prog);
+        (t, None)
+    };
+    let mut m = Machine::new();
+    if let Some(r) = &report {
+        let t = m.telemetry_mut();
+        t.counter_add("lint.sites_safe", r.sites_safe());
+        t.counter_add("lint.sites_unknown", r.sites_unknown());
+        t.counter_add("lint.sites_flagged", r.sites_flagged());
+    }
+    let mut b = ShadowPoolBackend::new();
+    let (output, detected) = match run(&transformed, &mut m, &mut b, FUEL) {
+        Ok(o) => (o.output, false),
+        Err(e) if is_detection(&e) => (Vec::new(), true),
+        Err(e) => panic!("unexpected runtime error: {e}"),
+    };
+    RunResult {
+        output,
+        detected,
+        stats: *m.stats(),
+        cycles: m.clock(),
+        elided: m.metrics_snapshot().counter("shadow.elided"),
+        report,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("LINTPERF_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let programs = suite(quick);
+
+    println!("lintperf: runtime payoff of the dangle-lint elision pass\n");
+
+    let header = [
+        "Program", "Kind", "safe/unk/flag", "elided", "shadow syscalls off",
+        "shadow syscalls on", "cycles off", "cycles on", "detect",
+    ];
+    let mut rows = Vec::new();
+    let mut artifact_rows = Vec::new();
+    let mut server_with_strict_reduction = 0usize;
+
+    for p in &programs {
+        let off = run_once(&p.src, false);
+        let on = run_once(&p.src, true);
+        let report = on.report.as_ref().expect("lint report present");
+
+        // Byte-identical behaviour: same printed values, same
+        // detection-or-not verdict.
+        assert_eq!(off.output, on.output, "{}: output diverged", p.name);
+        assert_eq!(off.detected, on.detected, "{}: detection diverged", p.name);
+        assert_eq!(
+            on.detected, p.expect_detection,
+            "{}: wrong detection result", p.name
+        );
+        // No false positives: a clean program is never flagged Definite.
+        if !p.expect_detection {
+            assert_eq!(
+                report.sites_flagged(),
+                0,
+                "{}: false Definite verdict:\n{}",
+                p.name,
+                report.render()
+            );
+        }
+        assert_eq!(off.elided, 0, "{}: nothing may be elided with the pass off", p.name);
+
+        let shadow_off = off.stats.mremap_calls + off.stats.mprotect_calls;
+        let shadow_on = on.stats.mremap_calls + on.stats.mprotect_calls;
+        assert!(
+            shadow_on <= shadow_off,
+            "{}: elision must never add protection syscalls", p.name
+        );
+        if p.kind == "server" && shadow_on < shadow_off {
+            server_with_strict_reduction += 1;
+        }
+
+        rows.push(vec![
+            p.name.to_string(),
+            p.kind.to_string(),
+            format!(
+                "{}/{}/{}",
+                report.sites_safe(),
+                report.sites_unknown(),
+                report.sites_flagged()
+            ),
+            on.elided.to_string(),
+            shadow_off.to_string(),
+            shadow_on.to_string(),
+            off.cycles.to_string(),
+            on.cycles.to_string(),
+            if on.detected { "yes".into() } else { "no".to_string() },
+        ]);
+        artifact_rows.push(Json::Obj(vec![
+            ("name".into(), Json::Str(p.name.to_string())),
+            ("kind".into(), Json::Str(p.kind.to_string())),
+            ("sites_safe".into(), Json::from_u64(report.sites_safe())),
+            ("sites_unknown".into(), Json::from_u64(report.sites_unknown())),
+            ("sites_flagged".into(), Json::from_u64(report.sites_flagged())),
+            ("elided".into(), Json::from_u64(on.elided)),
+            ("shadow_syscalls_off".into(), Json::from_u64(shadow_off)),
+            ("shadow_syscalls_on".into(), Json::from_u64(shadow_on)),
+            ("total_syscalls_off".into(), Json::from_u64(off.stats.total_syscalls())),
+            ("total_syscalls_on".into(), Json::from_u64(on.stats.total_syscalls())),
+            ("cycles_off".into(), Json::from_u64(off.cycles)),
+            ("cycles_on".into(), Json::from_u64(on.cycles)),
+            ("detected".into(), Json::Bool(on.detected)),
+            ("detections_identical".into(), Json::Bool(true)),
+        ]));
+    }
+
+    assert!(
+        server_with_strict_reduction >= 1,
+        "at least one server workload must see a strict shadow-syscall reduction"
+    );
+
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "servers with strictly fewer shadow syscalls: {server_with_strict_reduction}/3 \
+         (detections and output asserted identical on every row)"
+    );
+
+    let mut artifact = Artifact::new("lintperf");
+    artifact.set("quick", Json::Bool(quick));
+    artifact.set("programs", Json::Arr(artifact_rows));
+    artifact.set(
+        "servers_with_strict_reduction",
+        Json::from_u64(server_with_strict_reduction as u64),
+    );
+    artifact.write_cwd().expect("write BENCH artifact");
+}

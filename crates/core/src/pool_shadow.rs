@@ -234,6 +234,41 @@ impl ShadowPool {
         self.free_at(machine, pool, addr, SiteId::UNKNOWN)
     }
 
+    /// `poolalloc` **without** shadow protection, for a site dangle-lint
+    /// proved `ProvablySafe`: the object lives directly on the pool's
+    /// canonical pages — no shadow remap, no hidden word, no registry entry.
+    /// Must be paired with [`ShadowPool::free_unchecked`]; the lint pass
+    /// stamps whole alias classes, so checked and unchecked pointers never
+    /// reach the same site.
+    ///
+    /// # Errors
+    /// As for [`PoolSet::alloc`].
+    pub fn alloc_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        size: usize,
+    ) -> Result<VirtAddr, PoolError> {
+        machine.telemetry_mut().counter_add("shadow.elided", 1);
+        self.pools.alloc(machine, pool, size)
+    }
+
+    /// `poolfree` for an allocation made by
+    /// [`ShadowPool::alloc_unchecked`]: straight back to the pool, with no
+    /// `mprotect` and no freed-span bookkeeping.
+    ///
+    /// # Errors
+    /// As for [`PoolSet::free`].
+    pub fn free_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        addr: VirtAddr,
+    ) -> Result<(), PoolError> {
+        machine.telemetry_mut().counter_add("shadow.elided", 1);
+        self.pools.free(machine, pool, addr)
+    }
+
     /// `pooldestroy`: recycles every canonical and shadow page of the pool
     /// through the shared free list and drops its diagnostics (no pointer
     /// into the pool can fault any more — the APA contract).

@@ -245,6 +245,40 @@ impl<A: Allocator> ShadowHeap<A> {
         Ok(())
     }
 
+    /// Allocates `size` bytes **without** shadow protection, for a site the
+    /// static free-site analysis (dangle-lint) proved `ProvablySafe`: no
+    /// shadow alias is created, no hidden word is written, and the object is
+    /// never entered into the registry. The returned address is the inner
+    /// allocator's canonical address and must be released through
+    /// [`ShadowHeap::free_unchecked`] (the lint pass stamps whole alias
+    /// classes, so checked and unchecked pointers never reach the same
+    /// free site).
+    ///
+    /// # Errors
+    /// As for [`Allocator::alloc`].
+    pub fn alloc_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+    ) -> Result<VirtAddr, AllocError> {
+        machine.telemetry_mut().counter_add("shadow.elided", 1);
+        self.inner.alloc(machine, size)
+    }
+
+    /// Frees an allocation made by [`ShadowHeap::alloc_unchecked`]: straight
+    /// to the inner allocator, with no `mprotect` and no registry update.
+    ///
+    /// # Errors
+    /// As for [`Allocator::free`].
+    pub fn free_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+    ) -> Result<(), AllocError> {
+        machine.telemetry_mut().counter_add("shadow.elided", 1);
+        self.inner.free(machine, addr)
+    }
+
     /// §3.4 solution 1: hands the shadow pages of *freed* objects back for
     /// reuse, surrendering the detection guarantee for pointers into them.
     /// Returns the number of pages made reusable.

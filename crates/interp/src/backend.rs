@@ -134,6 +134,38 @@ pub trait Backend {
         pool: Option<PoolHandle>,
     ) -> Result<(), BackendError>;
 
+    /// [`Backend::alloc`] for a malloc site the static free-site analysis
+    /// (dangle-lint) stamped `unchecked` — every free site of its alias
+    /// class is `ProvablySafe`, so no dangling use of the object is
+    /// possible. Shadow-page schemes override this to skip protection
+    /// entirely; the default just performs a normal checked allocation, so
+    /// schemes without an elision fast path are unaffected.
+    ///
+    /// # Errors
+    /// As for [`Backend::alloc`].
+    fn alloc_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+        pool: Option<PoolHandle>,
+    ) -> Result<VirtAddr, BackendError> {
+        self.alloc(machine, size, pool)
+    }
+
+    /// [`Backend::free`] for a free site stamped `unchecked` by
+    /// dangle-lint. See [`Backend::alloc_unchecked`].
+    ///
+    /// # Errors
+    /// As for [`Backend::free`].
+    fn free_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        pool: Option<PoolHandle>,
+    ) -> Result<(), BackendError> {
+        self.free(machine, addr, pool)
+    }
+
     /// Creates a pool (`poolinit`). Non-pool schemes return a dummy handle.
     ///
     /// # Errors
@@ -573,6 +605,24 @@ impl Backend for ShadowBackend {
         })
     }
 
+    fn alloc_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+        _pool: Option<PoolHandle>,
+    ) -> Result<VirtAddr, BackendError> {
+        self.heap.alloc_unchecked(machine, size).map_err(from_alloc)
+    }
+
+    fn free_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        _pool: Option<PoolHandle>,
+    ) -> Result<(), BackendError> {
+        self.heap.free_unchecked(machine, addr).map_err(from_alloc)
+    }
+
     fn pool_create(
         &mut self,
         _machine: &mut Machine,
@@ -695,6 +745,26 @@ impl Backend for ShadowPoolBackend {
             },
             other => from_pool(other),
         })
+    }
+
+    fn alloc_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+        pool: Option<PoolHandle>,
+    ) -> Result<VirtAddr, BackendError> {
+        let p = self.pool_or_global(pool);
+        self.detector.alloc_unchecked(machine, p, size).map_err(from_pool)
+    }
+
+    fn free_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        pool: Option<PoolHandle>,
+    ) -> Result<(), BackendError> {
+        let p = self.pool_or_global(pool);
+        self.detector.free_unchecked(machine, p, addr).map_err(from_pool)
     }
 
     fn pool_create(

@@ -193,7 +193,7 @@ impl Interp<'_, '_, '_> {
                     Err(RunError::UndefinedVariable(name.clone()))
                 }
             }
-            Expr::Malloc { struct_name, pool, .. } => {
+            Expr::Malloc { struct_name, pool, unchecked, .. } => {
                 let def = self
                     .prog
                     .struct_def(struct_name)
@@ -201,7 +201,11 @@ impl Interp<'_, '_, '_> {
                 let size = def.size();
                 let nfields = def.fields.len();
                 let handle = self.resolve_pool(pool.as_deref(), frame)?;
-                let addr = self.backend.alloc(self.machine, size, handle)?;
+                let addr = if *unchecked {
+                    self.backend.alloc_unchecked(self.machine, size, handle)?
+                } else {
+                    self.backend.alloc(self.machine, size, handle)?
+                };
                 // MiniC mallocs are zero-initialized (calloc semantics), so
                 // program behaviour is deterministic across backends even
                 // when the underlying allocator recycles dirty memory.
@@ -210,7 +214,7 @@ impl Interp<'_, '_, '_> {
                 }
                 Ok((addr.raw() as i64, Some(Type::Ptr(struct_name.clone()))))
             }
-            Expr::MallocArray { struct_name, count, pool, .. } => {
+            Expr::MallocArray { struct_name, count, pool, unchecked, .. } => {
                 let def = self
                     .prog
                     .struct_def(struct_name)
@@ -225,7 +229,11 @@ impl Interp<'_, '_, '_> {
                 let nfields = def.fields.len();
                 let total = elem * (n.max(1) as usize);
                 let handle = self.resolve_pool(pool.as_deref(), frame)?;
-                let addr = self.backend.alloc(self.machine, total, handle)?;
+                let addr = if *unchecked {
+                    self.backend.alloc_unchecked(self.machine, total, handle)?
+                } else {
+                    self.backend.alloc(self.machine, total, handle)?
+                };
                 for i in 0..nfields * n.max(1) as usize {
                     self.backend.store(self.machine, addr.add(i as u64 * 8), 8, 0)?;
                 }
@@ -241,7 +249,7 @@ impl Interp<'_, '_, '_> {
                 let addr = (bv as u64).wrapping_add((iv as u64).wrapping_mul(def.size() as u64));
                 Ok((addr as i64, bt))
             }
-            Expr::Field { base, field } => {
+            Expr::Field { base, field, .. } => {
                 let (bv, bt) = self.eval(base, frame)?;
                 if bv == 0 {
                     return Err(RunError::NullDereference);
@@ -366,7 +374,7 @@ impl Interp<'_, '_, '_> {
                             return Err(RunError::UndefinedVariable(name.clone()));
                         }
                     }
-                    LValue::Field { base, field } => {
+                    LValue::Field { base, field, .. } => {
                         let (bv, bt) = self.eval(base, frame)?;
                         if bv == 0 {
                             return Err(RunError::NullDereference);
@@ -385,11 +393,15 @@ impl Interp<'_, '_, '_> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Free { expr, pool, .. } => {
+            Stmt::Free { expr, pool, unchecked, .. } => {
                 let (v, _) = self.eval(expr, frame)?;
                 if v != 0 {
                     let handle = self.resolve_pool(pool.as_deref(), frame)?;
-                    self.backend.free(self.machine, VirtAddr(v as u64), handle)?;
+                    if *unchecked {
+                        self.backend.free_unchecked(self.machine, VirtAddr(v as u64), handle)?;
+                    } else {
+                        self.backend.free(self.machine, VirtAddr(v as u64), handle)?;
+                    }
                 }
                 Ok(Flow::Normal)
             }
