@@ -64,7 +64,7 @@ fn main() {
     let mut m = Machine::with_config(tiny);
     let mut h = ShadowHeap::with_config(
         SysHeap::new(),
-        ShadowConfig { recycle_threshold_pages: Some(2_000) },
+        ShadowConfig { recycle_threshold_pages: Some(2_000), ..ShadowConfig::default() },
     );
     let target = allocated * 20;
     let mut threshold_ok = 0u64;

@@ -127,6 +127,8 @@ impl Measurement {
                     ("mmap".into(), Json::from_u64(s.mmap_calls)),
                     ("mremap".into(), Json::from_u64(s.mremap_calls)),
                     ("mprotect".into(), Json::from_u64(s.mprotect_calls)),
+                    ("mprotect_batch".into(), Json::from_u64(s.mprotect_batch_calls)),
+                    ("ranges_batched".into(), Json::from_u64(s.ranges_batched)),
                     ("munmap".into(), Json::from_u64(s.munmap_calls)),
                     ("dummy".into(), Json::from_u64(s.dummy_calls)),
                     ("total".into(), Json::from_u64(s.total_syscalls())),
@@ -299,6 +301,10 @@ mod tests {
             sys.get("mremap").and_then(Json::as_u64).unwrap(),
             m.stats.mremap_calls,
         );
+        // Batching keys are always emitted (zero when batching is off) so
+        // artifact consumers see a stable schema.
+        assert_eq!(sys.get("mprotect_batch").and_then(Json::as_u64), Some(0));
+        assert_eq!(sys.get("ranges_batched").and_then(Json::as_u64), Some(0));
         let tlb = parsed.get("tlb").expect("tlb object");
         let hits = tlb.get("hits").and_then(Json::as_u64).unwrap();
         let misses = tlb.get("misses").and_then(Json::as_u64).unwrap();

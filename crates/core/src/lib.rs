@@ -41,4 +41,7 @@ pub mod os;
 pub use diag::{DanglingKind, DanglingReport, ObjectRecord, ObjectState, SiteId, SiteTable};
 pub use gc::GcReport;
 pub use pool_shadow::{FreedSpan, ShadowPool};
-pub use shadow::{ShadowConfig, ShadowHeap, SHADOW_WORD};
+pub use shadow::{BatchConfig, ShadowConfig, ShadowHeap, SHADOW_WORD};
+
+#[cfg(test)]
+mod batch_proptests;

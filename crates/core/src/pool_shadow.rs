@@ -17,8 +17,8 @@
 //! measurements show is tiny for real servers.
 
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
-use crate::shadow::TRAP_CONTEXT_EVENTS;
-use dangle_heap::{AllocError, AllocStats};
+use crate::shadow::{merge_run, runs_overlap, BatchConfig, Extent, TRAP_CONTEXT_EVENTS};
+use dangle_heap::{header, AllocError, AllocStats};
 use dangle_telemetry::{EventKind, TrapReport};
 use dangle_pool::{PoolConfig, PoolError, PoolId, PoolSet};
 use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
@@ -71,6 +71,20 @@ pub struct ShadowPool {
     /// first use so the hot path skips the by-name registry lookup.
     recycled_counter: Option<dangle_telemetry::CounterHandle>,
     fresh_counter: Option<dangle_telemetry::CounterHandle>,
+    /// Vectored-syscall batching configuration (off by default).
+    batch: BatchConfig,
+    /// Bump extents of pre-aliased shadow pages, keyed by pool and size
+    /// class (batched mode). Pools carve canonical memory per size class,
+    /// so interleaved allocations of different classes advance different
+    /// canonical pages — one extent per (pool, class) keeps each stream
+    /// amortising instead of thrashing.
+    extents: HashMap<(PoolId, usize), Extent>,
+    /// Protection runs deferred by [`BatchConfig::protect_epoch`], sorted
+    /// and coalesced; global across pools since `mprotect` ranges are pure
+    /// VA. Empty between frees in the default eager mode.
+    pending_protect: Vec<(PageNum, usize)>,
+    /// Frees accumulated since the last protection flush.
+    pending_frees: usize,
 }
 
 impl ShadowPool {
@@ -82,6 +96,17 @@ impl ShadowPool {
     /// Creates a detector with an explicit pool configuration.
     pub fn with_config(config: PoolConfig) -> ShadowPool {
         ShadowPool { pools: PoolSet::with_config(config), ..ShadowPool::default() }
+    }
+
+    /// Creates a detector with explicit pool and vectored-syscall batching
+    /// configurations (see [`BatchConfig`]).
+    pub fn with_batch(config: PoolConfig, batch: BatchConfig) -> ShadowPool {
+        ShadowPool { pools: PoolSet::with_config(config), batch, ..ShadowPool::default() }
+    }
+
+    /// The batching configuration this detector runs with.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.batch
     }
 
     /// `poolinit`. See [`PoolSet::create`].
@@ -111,47 +136,18 @@ impl ShadowPool {
         let span = canon.span_pages(total);
         let canon_page = canon.page();
         // Shadow pages also recycle virtual addresses from the shared free
-        // list; multi-page spans take contiguous runs.
-        let shadow_base = match self.pools.take_free_run(span) {
-            Some(pg) => {
-                machine.alias_fixed(canon_page.base(), pg.base(), span)?;
-                machine.note_event(pg.base(), EventKind::FreeListHit { pages: span as u32 });
-                let t = machine.telemetry_mut();
-                if t.enabled() {
-                    let h = match self.recycled_counter {
-                        Some(h) => h,
-                        None => {
-                            let h = t.metrics_mut().counter_handle("pool.pages_recycled");
-                            self.recycled_counter = Some(h);
-                            h
-                        }
-                    };
-                    t.metrics_mut().add(h, span as u64);
-                }
-                pg.base()
-            }
-            None => {
-                let base = machine.mremap_alias(canon_page.base(), span)?;
-                machine.note_event(base, EventKind::FreeListMiss { pages: span as u32 });
-                let t = machine.telemetry_mut();
-                if t.enabled() {
-                    let h = match self.fresh_counter {
-                        Some(h) => h,
-                        None => {
-                            let h = t.metrics_mut().counter_handle("pool.pages_fresh");
-                            self.fresh_counter = Some(h);
-                            h
-                        }
-                    };
-                    t.metrics_mut().add(h, span as u64);
-                }
-                base
-            }
+        // list; multi-page spans take contiguous runs. Batched mode serves
+        // single-page objects from per-pool extents instead; extent pages
+        // are registered with the pool at build time.
+        let shadow_base = if self.batch.enabled && span == 1 {
+            let class = header::class_index(total).unwrap_or(usize::MAX);
+            self.extent_page(machine, pool, canon_page, class)?
+        } else {
+            let base = self.legacy_shadow_alias(machine, canon_page, span)?;
+            self.pools.register_extra_run(pool, base.page(), span)?;
+            base
         };
         let shadow_start = shadow_base.page();
-        for i in 0..span as u64 {
-            self.pools.register_extra_page(pool, shadow_start.add(i))?;
-        }
         self.shadow_pages
             .entry(pool)
             .or_default()
@@ -163,6 +159,181 @@ impl ShadowPool {
         self.live.entry(pool).or_default().insert(user, size);
         self.stats.note_alloc(size);
         Ok(user)
+    }
+
+    /// Bumps the cached `pool.pages_recycled` / `pool.pages_fresh`
+    /// telemetry counter.
+    fn note_shadow_pages(&mut self, machine: &mut Machine, recycled: bool, n: u64) {
+        let t = machine.telemetry_mut();
+        if !t.enabled() {
+            return;
+        }
+        let slot = if recycled { &mut self.recycled_counter } else { &mut self.fresh_counter };
+        let h = match *slot {
+            Some(h) => h,
+            None => {
+                let name = if recycled { "pool.pages_recycled" } else { "pool.pages_fresh" };
+                let h = t.metrics_mut().counter_handle(name);
+                *slot = Some(h);
+                h
+            }
+        };
+        t.metrics_mut().add(h, n);
+    }
+
+    /// The one-syscall-per-allocation shadow alias of the paper's §3.3:
+    /// a recycled run from the shared free list when available, a fresh
+    /// `mremap` alias otherwise.
+    fn legacy_shadow_alias(
+        &mut self,
+        machine: &mut Machine,
+        canon_page: PageNum,
+        span: usize,
+    ) -> Result<VirtAddr, PoolError> {
+        match self.pools.take_free_run(span) {
+            Some(pg) => {
+                machine.alias_fixed(canon_page.base(), pg.base(), span)?;
+                machine.note_event(pg.base(), EventKind::FreeListHit { pages: span as u32 });
+                self.note_shadow_pages(machine, true, span as u64);
+                Ok(pg.base())
+            }
+            None => {
+                let base = machine.mremap_alias(canon_page.base(), span)?;
+                machine.note_event(base, EventKind::FreeListMiss { pages: span as u32 });
+                self.note_shadow_pages(machine, false, span as u64);
+                Ok(base)
+            }
+        }
+    }
+
+    /// Batched-mode shadow page for a single-page object of `pool` on
+    /// `canon`: consumes the pool's extent when it matches, re-points a
+    /// stale leftover run in one vectored call, builds a new extent once
+    /// demand on `canon` is proven, and otherwise falls back to a plain
+    /// single alias at exactly the legacy cost.
+    fn extent_page(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        canon: PageNum,
+        class: usize,
+    ) -> Result<VirtAddr, PoolError> {
+        let cap = self.batch.extent_pages.max(2);
+        let key = (pool, class);
+        match self.extents.get(&key).copied() {
+            // Hit: a pre-aliased page, zero syscalls.
+            Some(mut ext) if ext.canon == canon && ext.left > 0 => {
+                let page = ext.next;
+                ext.next = ext.next.add(1);
+                ext.left -= 1;
+                if ext.left == 0 {
+                    ext.grow = (ext.grow * 2).min(cap);
+                }
+                self.extents.insert(key, ext);
+                machine.telemetry_mut().counter_add("shadow.extent_hits", 1);
+                Ok(page.base())
+            }
+            // Demand proven: a second allocation landed on `canon`.
+            Some(ext) if ext.canon == canon => {
+                let (base, got) =
+                    self.build_extent(machine, pool, canon, ext.grow.clamp(2, cap))?;
+                self.extents.insert(
+                    key,
+                    Extent { canon, next: base.add(1), left: got - 1, grow: ext.grow },
+                );
+                Ok(base.base())
+            }
+            // Stale leftover from another canonical page of this pool:
+            // re-point the whole run at `canon` for one vectored crossing.
+            // The pages are registered with the pool already.
+            Some(ext) if ext.left > 0 => {
+                if ext.left == 1 {
+                    machine.alias_fixed(canon.base(), ext.next.base(), 1)?;
+                } else {
+                    let entries: Vec<_> = (0..ext.left as u64)
+                        .map(|i| (canon.base(), ext.next.add(i).base(), 1usize))
+                        .collect();
+                    machine.alias_fixed_batch(&entries)?;
+                }
+                machine.telemetry_mut().counter_add("shadow.extent_repoints", 1);
+                self.extents.insert(
+                    key,
+                    Extent { canon, next: ext.next.add(1), left: ext.left - 1, grow: ext.grow },
+                );
+                Ok(ext.next.base())
+            }
+            // First touch of `canon`: plain alias at legacy cost, plus a
+            // zero-page demand marker.
+            other => {
+                let grow = other.map_or(2, |e| e.grow);
+                let base = self.legacy_shadow_alias(machine, canon, 1)?;
+                self.pools.register_extra_page(pool, base.page())?;
+                self.extents
+                    .insert(key, Extent { canon, next: PageNum(0), left: 0, grow });
+                Ok(base)
+            }
+        }
+    }
+
+    /// Builds a `want`-page extent for `pool` aliasing `canon`: a recycled
+    /// run from the shared free list is re-pointed with one vectored call,
+    /// otherwise fresh contiguous aliases come from one vectored `mremap`.
+    /// The run is registered with the pool here, so `pooldestroy` releases
+    /// leftover extent pages along with everything else.
+    fn build_extent(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        canon: PageNum,
+        want: usize,
+    ) -> Result<(PageNum, usize), PoolError> {
+        let (base, got) = if let Some((rbase, rlen)) = self.pools.take_free_run_capped(want) {
+            if rlen == 1 {
+                machine.alias_fixed(canon.base(), rbase.base(), 1)?;
+            } else {
+                let entries: Vec<_> = (0..rlen as u64)
+                    .map(|i| (canon.base(), rbase.add(i).base(), 1usize))
+                    .collect();
+                machine.alias_fixed_batch(&entries)?;
+            }
+            machine.note_event(rbase.base(), EventKind::FreeListHit { pages: rlen as u32 });
+            self.note_shadow_pages(machine, true, rlen as u64);
+            (rbase, rlen)
+        } else {
+            let ranges = vec![(canon.base(), 1usize); want];
+            let aliases = machine.mremap_alias_batch(&ranges)?;
+            machine.note_event(aliases[0], EventKind::FreeListMiss { pages: want as u32 });
+            self.note_shadow_pages(machine, false, want as u64);
+            (aliases[0].page(), want)
+        };
+        self.pools.register_extra_run(pool, base, got)?;
+        Ok((base, got))
+    }
+
+    /// Applies every pending deferred protection (see
+    /// [`BatchConfig::protect_epoch`]): one plain `mprotect` for a single
+    /// run — the same cost the legacy per-free call pays — or one vectored
+    /// `mprotect` for several. A no-op when nothing is pending; the
+    /// default eager mode calls this at the end of every
+    /// [`ShadowPool::free_at`], and `pooldestroy` always flushes first.
+    pub fn flush_protects(&mut self, machine: &mut Machine) -> Result<(), Trap> {
+        self.pending_frees = 0;
+        if self.pending_protect.is_empty() {
+            return Ok(());
+        }
+        let runs = std::mem::take(&mut self.pending_protect);
+        if let [(base, span)] = runs[..] {
+            machine.mprotect(base.base(), span, Protection::None)?;
+        } else {
+            let ranges: Vec<_> = runs.iter().map(|&(b, s)| (b.base(), s)).collect();
+            machine.mprotect_batch(&ranges, Protection::None)?;
+        }
+        let t = machine.telemetry_mut();
+        t.counter_add("shadow.protect_runs", runs.len() as u64);
+        for &(_, s) in &runs {
+            t.observe("shadow.run_len", s as u64);
+        }
+        Ok(())
     }
 
     /// `poolalloc` + shadow remap (untagged).
@@ -195,6 +366,12 @@ impl ShadowPool {
             return Err(AllocError::InvalidFree { addr }.into());
         }
         let hidden = addr.sub(SHADOW_WORD as u64);
+        // An epoch-deferred protection makes the hidden word of an
+        // already-freed object readable again; flushing first restores the
+        // §3.2 guarantee that the read below traps on a double free.
+        if runs_overlap(&self.pending_protect, hidden.page(), 1) {
+            self.flush_protects(machine).map_err(PoolError::from)?;
+        }
         let canon_page = match machine.load_u64(hidden) {
             Ok(w) => w,
             Err(trap) => {
@@ -208,7 +385,15 @@ impl ShadowPool {
         let canon_hidden = VirtAddr(canon_page + hidden.offset() as u64);
         let total = self.pools.size_of(machine, canon_hidden)?;
         let span = hidden.span_pages(total);
-        machine.mprotect(hidden.page().base(), span, Protection::None)?;
+        if self.batch.enabled {
+            merge_run(&mut self.pending_protect, hidden.page(), span);
+            self.pending_frees += 1;
+            if self.pending_frees >= self.batch.protect_epoch.unwrap_or(1) {
+                self.flush_protects(machine).map_err(PoolError::from)?;
+            }
+        } else {
+            machine.mprotect(hidden.page().base(), span, Protection::None)?;
+        }
         machine.telemetry_mut().counter_add("core.pages_protected", span as u64);
         self.pools.free(machine, pool, canon_hidden)?;
         self.registry.mark_freed(addr, site);
@@ -276,6 +461,14 @@ impl ShadowPool {
     /// # Errors
     /// As for [`PoolSet::destroy`].
     pub fn destroy(&mut self, machine: &mut Machine, pool: PoolId) -> Result<(), PoolError> {
+        if self.batch.enabled {
+            // Deferred protections must land before the pages they cover
+            // can be released and re-mapped to live storage.
+            self.flush_protects(machine).map_err(PoolError::from)?;
+            // Leftover extent pages were registered at build time, so the
+            // release below already covers them.
+            self.extents.retain(|&(p, _), _| p != pool);
+        }
         let shadow = self.shadow_pages.remove(&pool).unwrap_or_default();
         self.pools.destroy(machine, pool)?;
         self.registry.forget_pages(&shadow);
@@ -353,6 +546,12 @@ impl ShadowPool {
     /// pool, and donates them to the shared free list. Returns the number of
     /// pages reclaimed (0 if the span was not a candidate).
     pub fn reclaim_span(&mut self, pool: PoolId, span: FreedSpan) -> usize {
+        // A span whose protection is still pending (epoch mode) is not
+        // reclaimable yet: donating it could re-map the pages to live
+        // storage before the deferred mprotect lands.
+        if runs_overlap(&self.pending_protect, span.base, span.span) {
+            return 0;
+        }
         let Some(list) = self.freed.get_mut(&pool) else { return 0 };
         let Some(pos) = list.iter().position(|&s| s == span) else { return 0 };
         list.remove(pos);
@@ -517,6 +716,114 @@ mod tests {
         let pp = sp.create(16);
         sp.destroy(&mut m, pp).unwrap();
         assert!(matches!(sp.alloc(&mut m, pp, 8), Err(PoolError::Destroyed(_))));
+    }
+
+    fn batched() -> (Machine, ShadowPool) {
+        let batch = BatchConfig { enabled: true, ..BatchConfig::default() };
+        (Machine::free_running(), ShadowPool::with_batch(PoolConfig::default(), batch))
+    }
+
+    #[test]
+    fn batched_pool_detects_like_legacy() {
+        let (mut m, mut sp) = batched();
+        let pp = sp.create(16);
+        let mut ptrs = Vec::new();
+        for _ in 0..12 {
+            let p = sp.alloc(&mut m, pp, 16).unwrap();
+            m.store_u64(p, 5).unwrap();
+            ptrs.push(p);
+        }
+        for &p in &ptrs[1..] {
+            sp.free(&mut m, pp, p).unwrap();
+        }
+        for &p in &ptrs[1..] {
+            let trap = m.load_u64(p).unwrap_err();
+            assert_eq!(sp.explain(&trap).unwrap().kind, DanglingKind::Read);
+        }
+        assert_eq!(m.load_u64(ptrs[0]).unwrap(), 5, "live object untouched");
+        // Double free still caught by the hidden-word read.
+        assert!(sp.free(&mut m, pp, ptrs[1]).is_err());
+        assert_eq!(sp.last_report().unwrap().kind, DanglingKind::DoubleFree);
+    }
+
+    #[test]
+    fn batched_pool_extents_cut_crossings_and_cycles() {
+        let n = 64;
+        let mut m_legacy = Machine::new();
+        let mut legacy = ShadowPool::new();
+        let p_legacy = legacy.create(16);
+        let mut m_batch = Machine::new();
+        let mut batch =
+            ShadowPool::with_batch(PoolConfig::default(), BatchConfig { enabled: true, ..BatchConfig::default() });
+        let p_batch = batch.create(16);
+        for _ in 0..n {
+            let a = legacy.alloc(&mut m_legacy, p_legacy, 16).unwrap();
+            m_legacy.store_u64(a, 1).unwrap();
+            let b = batch.alloc(&mut m_batch, p_batch, 16).unwrap();
+            m_batch.store_u64(b, 1).unwrap();
+        }
+        let sl = m_legacy.stats();
+        let sb = m_batch.stats();
+        assert!(
+            (sb.mremap_calls + sb.mmap_calls) * 2 < sl.mremap_calls + sl.mmap_calls,
+            "extents must at least halve alias crossings: {} vs {}",
+            sb.mremap_calls + sb.mmap_calls,
+            sl.mremap_calls + sl.mmap_calls
+        );
+        assert!(sb.ranges_batched > 0);
+        assert!(
+            m_batch.clock() <= m_legacy.clock(),
+            "batched {} must not exceed legacy {} cycles",
+            m_batch.clock(),
+            m_legacy.clock()
+        );
+        assert!(m_batch.telemetry().counter("shadow.extent_hits") > 0);
+    }
+
+    #[test]
+    fn batched_destroy_recycles_extent_leftovers() {
+        let (mut m, mut sp) = batched();
+        let p1 = sp.create(16);
+        for _ in 0..3 {
+            sp.alloc(&mut m, p1, 16).unwrap();
+        }
+        sp.destroy(&mut m, p1).unwrap();
+        // 1 canonical + 3 consumed shadow pages + any unconsumed extent
+        // pages all land on the shared free list.
+        assert!(sp.pools().free_page_count() >= 4);
+
+        // A second pool round-trips entirely on recycled VA.
+        let consumed = m.virt_pages_consumed();
+        let p2 = sp.create(16);
+        for _ in 0..3 {
+            sp.alloc(&mut m, p2, 16).unwrap();
+        }
+        sp.destroy(&mut m, p2).unwrap();
+        assert_eq!(m.virt_pages_consumed(), consumed, "full VA reuse in batched mode");
+    }
+
+    #[test]
+    fn batched_epoch_defers_then_flushes() {
+        let batch =
+            BatchConfig { enabled: true, protect_epoch: Some(4), ..BatchConfig::default() };
+        let mut m = Machine::free_running();
+        let mut sp = ShadowPool::with_batch(PoolConfig::default(), batch);
+        let pp = sp.create(16);
+        let ptrs: Vec<_> = (0..4).map(|_| sp.alloc(&mut m, pp, 16).unwrap()).collect();
+        sp.free(&mut m, pp, ptrs[0]).unwrap();
+        sp.free(&mut m, pp, ptrs[1]).unwrap();
+        // Bounded window: stale reads slip through until the flush...
+        assert!(m.load_u64(ptrs[0]).is_ok());
+        // ...but a double free still traps (pre-flush on pending pages),
+        assert!(sp.free(&mut m, pp, ptrs[1]).is_err());
+        assert_eq!(sp.last_report().unwrap().kind, DanglingKind::DoubleFree);
+        // ...and the flush protected everything pending.
+        assert!(m.load_u64(ptrs[0]).is_err());
+
+        // Destroy always flushes before releasing pages.
+        sp.free(&mut m, pp, ptrs[2]).unwrap();
+        sp.destroy(&mut m, pp).unwrap();
+        assert!(m.load_u64(ptrs[2]).is_err());
     }
 
     #[test]

@@ -25,9 +25,10 @@
 //! available here as [`ShadowHeap::recycle_freed_pages`].
 
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
-use dangle_heap::{AllocError, AllocStats, Allocator, SysHeap};
+use dangle_heap::{header, AllocError, AllocStats, Allocator, SysHeap};
 use dangle_telemetry::TrapReport;
 use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
+use std::collections::HashMap;
 #[cfg(test)]
 use dangle_vmm::PAGE_SIZE;
 
@@ -36,6 +37,35 @@ pub const SHADOW_WORD: usize = 8;
 
 /// How many trailing ring events a [`TrapReport`] carries as context.
 pub const TRAP_CONTEXT_EVENTS: usize = 16;
+
+/// Configuration of the vectored-syscall (batched) protection path, shared
+/// by [`ShadowHeap`] and [`crate::ShadowPool`]. Off by default: the
+/// one-syscall-per-event path is the paper's §3.2 presentation and stays
+/// the reference that the differential tests compare against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Master switch for the batched path (extents + coalesced protects).
+    pub enabled: bool,
+    /// Upper bound on the pages a single shadow extent pre-aliases.
+    /// Extents grow demand-proven (2, 4, 8, ... up to this cap), so a
+    /// canonical page that only ever hosts one object never pays for an
+    /// extent at all.
+    pub extent_pages: usize,
+    /// `None` (the default): the protection of every free is flushed at
+    /// the end of that very `free` call, leaving the §3.2 detection window
+    /// unchanged. `Some(n)`: §3.4-style bounded window — protections are
+    /// coalesced across up to `n` frees and applied in one vectored
+    /// `mprotect`; a dangling use between a free and its flush goes
+    /// undetected (double frees are still caught — the detector flushes
+    /// before touching a hidden word on a pending page).
+    pub protect_epoch: Option<usize>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { enabled: false, extent_pages: 16, protect_epoch: None }
+    }
+}
 
 /// Configuration of a [`ShadowHeap`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -46,6 +76,61 @@ pub struct ShadowConfig {
     /// pointers is no longer guaranteed past that point — the paper argues
     /// the window (hours on 64-bit) makes this acceptable in practice.
     pub recycle_threshold_pages: Option<u64>,
+    /// Vectored-syscall batching (see [`BatchConfig`]).
+    pub batch: BatchConfig,
+}
+
+/// A bump extent of shadow pages pre-aliased to one canonical page:
+/// objects packed into the same canonical page receive adjacent shadow
+/// pages at zero syscall cost. `left == 0` with a matching `canon` records
+/// *proven demand* without any pre-paid pages — the first allocation on a
+/// canonical page always goes through the plain single-alias path, and an
+/// extent is only built once a second allocation shows the page is being
+/// packed.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Extent {
+    /// Canonical page every page of this extent aliases.
+    pub canon: PageNum,
+    /// Next unconsumed shadow page.
+    pub next: PageNum,
+    /// Unconsumed pages remaining.
+    pub left: usize,
+    /// Size of the next extent built for `canon`: starts at 2 and doubles
+    /// each time an extent is fully consumed, capped at
+    /// [`BatchConfig::extent_pages`].
+    pub grow: usize,
+}
+
+/// Inserts the run `(base, len)` into `runs` — kept sorted by base and
+/// fully coalesced — merging with both neighbours when adjacent.
+pub(crate) fn merge_run(runs: &mut Vec<(PageNum, usize)>, base: PageNum, len: usize) {
+    if len == 0 {
+        return;
+    }
+    let i = runs.partition_point(|&(b, _)| b < base);
+    let merges_prev = i > 0 && runs[i - 1].0.add(runs[i - 1].1 as u64) == base;
+    let merges_next = i < runs.len() && base.add(len as u64) == runs[i].0;
+    match (merges_prev, merges_next) {
+        (true, true) => {
+            runs[i - 1].1 += len + runs[i].1;
+            runs.remove(i);
+        }
+        (true, false) => runs[i - 1].1 += len,
+        (false, true) => {
+            runs[i].0 = base;
+            runs[i].1 += len;
+        }
+        (false, false) => runs.insert(i, (base, len)),
+    }
+}
+
+/// Whether `[base, base + len)` intersects any run of a sorted, disjoint
+/// run list. Disjointness makes checking the last run starting below the
+/// query's end sufficient.
+pub(crate) fn runs_overlap(runs: &[(PageNum, usize)], base: PageNum, len: usize) -> bool {
+    let end = base.add(len as u64);
+    let i = runs.partition_point(|&(b, _)| b < end);
+    i > 0 && runs[i - 1].0.add(runs[i - 1].1 as u64) > base
 }
 
 /// The shadow-page dangling-pointer detector over an arbitrary allocator.
@@ -77,10 +162,25 @@ pub struct ShadowHeap<A = SysHeap> {
     registry: ObjectRegistry,
     sites: SiteTable,
     stats: AllocStats,
-    /// Shadow pages of freed objects, candidates for §3.4 recycling.
+    /// Shadow runs of freed objects, candidates for §3.4 recycling. Kept
+    /// sorted by base and coalesced incrementally at every free, so
+    /// recycling and batched re-mapping are O(runs), not O(frees).
     freed_spans: Vec<(PageNum, usize)>,
-    /// Recycled shadow page numbers ready for reuse via `alias_fixed`.
-    recycled: Vec<PageNum>,
+    /// Recycled shadow runs ready for reuse via `alias_fixed`, sorted and
+    /// coalesced like `freed_spans`.
+    recycled: Vec<(PageNum, usize)>,
+    /// Bump extents of pre-aliased shadow pages, keyed by the underlying
+    /// allocator's size class (batched mode only). Size classes carve
+    /// canonical memory from distinct pages, so interleaved allocations of
+    /// different classes advance different canonical pages — one extent
+    /// per class keeps each stream amortising instead of thrashing.
+    extents: HashMap<usize, Extent>,
+    /// Protection runs deferred by [`BatchConfig::protect_epoch`], sorted
+    /// and coalesced (batched mode only; empty between frees in the
+    /// default eager mode).
+    pending_protect: Vec<(PageNum, usize)>,
+    /// Frees accumulated since the last protection flush.
+    pending_frees: usize,
     last_report: Option<DanglingReport>,
 }
 
@@ -106,6 +206,9 @@ impl<A: Allocator> ShadowHeap<A> {
             stats: AllocStats::default(),
             freed_spans: Vec::new(),
             recycled: Vec::new(),
+            extents: HashMap::new(),
+            pending_protect: Vec::new(),
+            pending_frees: 0,
             last_report: None,
         }
     }
@@ -175,6 +278,9 @@ impl<A: Allocator> ShadowHeap<A> {
     ) -> Result<VirtAddr, AllocError> {
         if let Some(threshold) = self.config.recycle_threshold_pages {
             if machine.virt_pages_consumed() >= threshold && self.recycled.is_empty() {
+                // Deferred protections must land before their pages can be
+                // recycled and re-aliased to live storage.
+                self.flush_protects(machine)?;
                 self.recycle_freed_pages();
             }
         }
@@ -184,13 +290,18 @@ impl<A: Allocator> ShadowHeap<A> {
         let canon_page = canon.page();
         // Prefer a recycled shadow page (§3.4) for single-page objects.
         let shadow_base = if span == 1 {
-            match self.recycled.pop() {
-                Some(pg) => {
-                    machine.alias_fixed(canon_page.base(), pg.base(), 1)?;
-                    machine.telemetry_mut().counter_add("core.shadow_pages_recycled", 1);
-                    pg.base()
+            if self.config.batch.enabled {
+                let class = header::class_index(total).unwrap_or(usize::MAX);
+                self.extent_page(machine, canon_page, class)?
+            } else {
+                match self.pop_recycled_page() {
+                    Some(pg) => {
+                        machine.alias_fixed(canon_page.base(), pg.base(), 1)?;
+                        machine.telemetry_mut().counter_add("core.shadow_pages_recycled", 1);
+                        pg.base()
+                    }
+                    None => machine.mremap_alias(canon_page.base(), span)?,
                 }
-                None => machine.mremap_alias(canon_page.base(), span)?,
             }
         } else {
             machine.mremap_alias(canon_page.base(), span)?
@@ -221,6 +332,12 @@ impl<A: Allocator> ShadowHeap<A> {
             return Err(AllocError::InvalidFree { addr });
         }
         let hidden = addr.sub(SHADOW_WORD as u64);
+        // An epoch-deferred protection makes the hidden word of an
+        // already-freed object readable again; flushing first restores the
+        // §3.2 guarantee that the read below traps on a double free.
+        if runs_overlap(&self.pending_protect, hidden.page(), 1) {
+            self.flush_protects(machine)?;
+        }
         // §3.2: "this read operation will cause a run-time error if the
         // object has already been freed".
         let canon_page = match machine.load_u64(hidden) {
@@ -236,11 +353,19 @@ impl<A: Allocator> ShadowHeap<A> {
         let canon_hidden = VirtAddr(canon_page + hidden.offset() as u64);
         let total = self.inner.size_of(machine, canon_hidden)?;
         let span = hidden.span_pages(total);
-        machine.mprotect(hidden.page().base(), span, Protection::None)?;
+        if self.config.batch.enabled {
+            merge_run(&mut self.pending_protect, hidden.page(), span);
+            self.pending_frees += 1;
+            if self.pending_frees >= self.config.batch.protect_epoch.unwrap_or(1) {
+                self.flush_protects(machine)?;
+            }
+        } else {
+            machine.mprotect(hidden.page().base(), span, Protection::None)?;
+        }
         machine.telemetry_mut().counter_add("core.pages_protected", span as u64);
         self.inner.free(machine, canon_hidden)?;
         self.registry.mark_freed(addr, site);
-        self.freed_spans.push((hidden.page(), span));
+        merge_run(&mut self.freed_spans, hidden.page(), span);
         self.stats.note_free(total - SHADOW_WORD);
         Ok(())
     }
@@ -279,22 +404,175 @@ impl<A: Allocator> ShadowHeap<A> {
         self.inner.free(machine, addr)
     }
 
-    /// §3.4 solution 1: hands the shadow pages of *freed* objects back for
+    /// §3.4 solution 1: hands the shadow runs of *freed* objects back for
     /// reuse, surrendering the detection guarantee for pointers into them.
-    /// Returns the number of pages made reusable.
+    /// Runs whose protection is still pending (epoch mode) stay back until
+    /// flushed. Returns the number of pages made reusable. The incremental
+    /// sorting of `freed_spans` makes this O(runs), not O(frees).
     pub fn recycle_freed_pages(&mut self) -> usize {
         let mut n = 0;
-        for (base, span) in self.freed_spans.drain(..) {
+        let spans = std::mem::take(&mut self.freed_spans);
+        for (base, span) in spans {
+            if runs_overlap(&self.pending_protect, base, span) {
+                merge_run(&mut self.freed_spans, base, span);
+                continue;
+            }
             self.registry.forget_range(base, span);
             n += span;
-            self.recycled.extend((0..span as u64).map(|i| base.add(i)));
+            merge_run(&mut self.recycled, base, span);
         }
         n
     }
 
     /// Number of recycled shadow pages currently available for reuse.
     pub fn recycled_available(&self) -> usize {
-        self.recycled.len()
+        self.recycled.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Takes one page off the recycled runs (from the top run's front).
+    fn pop_recycled_page(&mut self) -> Option<PageNum> {
+        let (base, len) = self.recycled.last_mut()?;
+        let pg = *base;
+        if *len == 1 {
+            self.recycled.pop();
+        } else {
+            *base = base.add(1);
+            *len -= 1;
+        }
+        Some(pg)
+    }
+
+    /// Batched-mode shadow page for a single-page object on `canon`:
+    /// consumes the size class's extent when it matches, re-points a stale
+    /// leftover run in one vectored call, builds a new extent once demand
+    /// on `canon` is proven, and otherwise falls back to a plain single
+    /// alias at exactly the legacy cost.
+    fn extent_page(
+        &mut self,
+        machine: &mut Machine,
+        canon: PageNum,
+        class: usize,
+    ) -> Result<VirtAddr, AllocError> {
+        let cap = self.config.batch.extent_pages.max(2);
+        match self.extents.get(&class).copied() {
+            // Hit: a pre-aliased page, zero syscalls.
+            Some(mut ext) if ext.canon == canon && ext.left > 0 => {
+                let page = ext.next;
+                ext.next = ext.next.add(1);
+                ext.left -= 1;
+                if ext.left == 0 {
+                    ext.grow = (ext.grow * 2).min(cap);
+                }
+                self.extents.insert(class, ext);
+                machine.telemetry_mut().counter_add("shadow.extent_hits", 1);
+                Ok(page.base())
+            }
+            // Demand proven: a second allocation landed on `canon`.
+            Some(ext) if ext.canon == canon => {
+                let (base, got) = self.build_extent(machine, canon, ext.grow.clamp(2, cap))?;
+                self.extents.insert(
+                    class,
+                    Extent { canon, next: base.add(1), left: got - 1, grow: ext.grow },
+                );
+                Ok(base.base())
+            }
+            // Stale leftover from another canonical page of this class:
+            // re-point the whole run at `canon` — the pages are already
+            // ours, so this recovers their VA for one vectored crossing.
+            Some(ext) if ext.left > 0 => {
+                if ext.left == 1 {
+                    machine.alias_fixed(canon.base(), ext.next.base(), 1)?;
+                } else {
+                    let entries: Vec<_> = (0..ext.left as u64)
+                        .map(|i| (canon.base(), ext.next.add(i).base(), 1usize))
+                        .collect();
+                    machine.alias_fixed_batch(&entries)?;
+                }
+                machine.telemetry_mut().counter_add("shadow.extent_repoints", 1);
+                self.extents.insert(
+                    class,
+                    Extent { canon, next: ext.next.add(1), left: ext.left - 1, grow: ext.grow },
+                );
+                Ok(ext.next.base())
+            }
+            // First touch of `canon`: plain alias at legacy cost, plus a
+            // zero-page demand marker.
+            other => {
+                let grow = other.map_or(2, |e| e.grow);
+                let base = match self.pop_recycled_page() {
+                    Some(pg) => {
+                        machine.alias_fixed(canon.base(), pg.base(), 1)?;
+                        machine
+                            .telemetry_mut()
+                            .counter_add("core.shadow_pages_recycled", 1);
+                        pg.base()
+                    }
+                    None => machine.mremap_alias(canon.base(), 1)?,
+                };
+                self.extents.insert(class, Extent { canon, next: PageNum(0), left: 0, grow });
+                Ok(base)
+            }
+        }
+    }
+
+    /// Builds a `want`-page extent aliasing `canon`: a recycled shadow run
+    /// is re-pointed with one vectored call, otherwise fresh contiguous
+    /// aliases come from one vectored `mremap`. Returns the first page and
+    /// the number of pages actually built.
+    fn build_extent(
+        &mut self,
+        machine: &mut Machine,
+        canon: PageNum,
+        want: usize,
+    ) -> Result<(PageNum, usize), AllocError> {
+        if let Some((rbase, rlen)) = self.recycled.pop() {
+            let take = rlen.min(want);
+            if take < rlen {
+                self.recycled.push((rbase.add(take as u64), rlen - take));
+            }
+            if take == 1 {
+                machine.alias_fixed(canon.base(), rbase.base(), 1)?;
+            } else {
+                let entries: Vec<_> = (0..take as u64)
+                    .map(|i| (canon.base(), rbase.add(i).base(), 1usize))
+                    .collect();
+                machine.alias_fixed_batch(&entries)?;
+            }
+            machine
+                .telemetry_mut()
+                .counter_add("core.shadow_pages_recycled", take as u64);
+            Ok((rbase, take))
+        } else {
+            let ranges = vec![(canon.base(), 1usize); want];
+            let aliases = machine.mremap_alias_batch(&ranges)?;
+            Ok((aliases[0].page(), want))
+        }
+    }
+
+    /// Applies every pending deferred protection (see
+    /// [`BatchConfig::protect_epoch`]): one plain `mprotect` for a single
+    /// run — the same cost the legacy per-free call pays — or one vectored
+    /// `mprotect` for several. A no-op when nothing is pending; the
+    /// default eager mode calls this at the end of every
+    /// [`ShadowHeap::free_at`].
+    pub fn flush_protects(&mut self, machine: &mut Machine) -> Result<(), Trap> {
+        self.pending_frees = 0;
+        if self.pending_protect.is_empty() {
+            return Ok(());
+        }
+        let runs = std::mem::take(&mut self.pending_protect);
+        if let [(base, span)] = runs[..] {
+            machine.mprotect(base.base(), span, Protection::None)?;
+        } else {
+            let ranges: Vec<_> = runs.iter().map(|&(b, s)| (b.base(), s)).collect();
+            machine.mprotect_batch(&ranges, Protection::None)?;
+        }
+        let t = machine.telemetry_mut();
+        t.counter_add("shadow.protect_runs", runs.len() as u64);
+        for &(_, s) in &runs {
+            t.observe("shadow.run_len", s as u64);
+        }
+        Ok(())
     }
 
     /// The wrapped allocator.
@@ -524,7 +802,7 @@ mod tests {
         let mut m2 = Machine::free_running();
         let mut h2 = ShadowHeap::with_config(
             SysHeap::new(),
-            ShadowConfig { recycle_threshold_pages: Some(30) },
+            ShadowConfig { recycle_threshold_pages: Some(30), ..ShadowConfig::default() },
         );
         for _ in 0..200 {
             let p = h2.alloc(&mut m2, 16).unwrap();
@@ -581,6 +859,140 @@ mod tests {
         assert_eq!(m.load_u64(b).unwrap(), 2);
         // Double free through the buddy allocator's header is also caught.
         assert!(matches!(h.free(&mut m, a), Err(AllocError::Trap(_))));
+    }
+
+    fn batched() -> (Machine, ShadowHeap) {
+        let cfg = ShadowConfig {
+            batch: BatchConfig { enabled: true, ..BatchConfig::default() },
+            ..ShadowConfig::default()
+        };
+        (Machine::free_running(), ShadowHeap::with_config(SysHeap::new(), cfg))
+    }
+
+    #[test]
+    fn batched_mode_detects_like_legacy() {
+        let (mut m, mut h) = batched();
+        let mut ptrs = Vec::new();
+        for _ in 0..12 {
+            let p = h.alloc(&mut m, 16).unwrap();
+            m.store_u64(p, 7).unwrap();
+            ptrs.push(p);
+        }
+        for &p in &ptrs {
+            h.free(&mut m, p).unwrap();
+        }
+        for &p in &ptrs {
+            assert!(m.load_u64(p).is_err(), "dangling use trapped in batched mode");
+        }
+        // Double free still caught by the hidden-word read.
+        let err = h.free(&mut m, ptrs[0]).unwrap_err();
+        assert!(matches!(err, AllocError::Trap(_)));
+        assert_eq!(h.last_report().unwrap().kind, DanglingKind::DoubleFree);
+    }
+
+    #[test]
+    fn extents_cut_remap_crossings() {
+        let n = 64;
+        let mut m_legacy = Machine::new();
+        let mut legacy = ShadowHeap::new(SysHeap::new());
+        let mut m_batch = Machine::new();
+        let (_, mut batch) = batched();
+        for _ in 0..n {
+            let a = legacy.alloc(&mut m_legacy, 16).unwrap();
+            m_legacy.store_u64(a, 1).unwrap();
+            let b = batch.alloc(&mut m_batch, 16).unwrap();
+            m_batch.store_u64(b, 1).unwrap();
+        }
+        let sl = m_legacy.stats();
+        let sb = m_batch.stats();
+        assert_eq!(sl.mremap_calls, n, "legacy pays one mremap per allocation");
+        assert!(
+            sb.mremap_calls * 2 < sl.mremap_calls,
+            "extents must at least halve remap crossings: {} vs {}",
+            sb.mremap_calls,
+            sl.mremap_calls
+        );
+        assert!(sb.ranges_batched > 0);
+        assert!(
+            m_batch.clock() <= m_legacy.clock(),
+            "batched {} must not exceed legacy {} cycles",
+            m_batch.clock(),
+            m_legacy.clock()
+        );
+    }
+
+    #[test]
+    fn epoch_mode_defers_then_flushes_and_catches_double_free() {
+        let cfg = ShadowConfig {
+            batch: BatchConfig {
+                enabled: true,
+                protect_epoch: Some(4),
+                ..BatchConfig::default()
+            },
+            ..ShadowConfig::default()
+        };
+        let mut m = Machine::free_running();
+        let mut h = ShadowHeap::with_config(SysHeap::new(), cfg);
+        let ptrs: Vec<_> = (0..4).map(|_| h.alloc(&mut m, 16).unwrap()).collect();
+        h.free(&mut m, ptrs[0]).unwrap();
+        h.free(&mut m, ptrs[1]).unwrap();
+        // Within the window the stale pointers still read silently — the
+        // documented bounded-window trade-off.
+        assert!(m.load_u64(ptrs[0]).is_ok());
+        // A double free inside the window is still caught: the detector
+        // flushes before reading the hidden word.
+        let err = h.free(&mut m, ptrs[1]).unwrap_err();
+        assert!(matches!(err, AllocError::Trap(_)));
+        assert_eq!(h.last_report().unwrap().kind, DanglingKind::DoubleFree);
+        // The flush protected everything pending.
+        assert!(m.load_u64(ptrs[0]).is_err());
+
+        // Four more frees flush on their own at the epoch boundary, in one
+        // vectored crossing when the runs are discontiguous.
+        let more: Vec<_> = (0..4).map(|_| h.alloc(&mut m, 16).unwrap()).collect();
+        let before = m.stats().mprotect_batch_calls;
+        for &p in &more {
+            h.free(&mut m, p).unwrap();
+        }
+        for &p in &more {
+            assert!(m.load_u64(p).is_err(), "protected after the epoch flush");
+        }
+        assert!(m.stats().mprotect_batch_calls >= before, "flush went through the batch path");
+        assert!(m.telemetry().counter("shadow.protect_runs") > 0);
+    }
+
+    #[test]
+    fn batched_recycling_reuses_runs() {
+        let cfg = ShadowConfig {
+            recycle_threshold_pages: Some(20),
+            batch: BatchConfig { enabled: true, ..BatchConfig::default() },
+        };
+        let mut m = Machine::free_running();
+        let mut h = ShadowHeap::with_config(SysHeap::new(), cfg);
+        for _ in 0..200 {
+            let p = h.alloc(&mut m, 16).unwrap();
+            h.free(&mut m, p).unwrap();
+        }
+        assert!(
+            m.virt_pages_consumed() < 60,
+            "recycling must bound VA growth in batched mode, consumed {}",
+            m.virt_pages_consumed()
+        );
+        assert!(m.telemetry().counter("core.shadow_pages_recycled") > 0);
+    }
+
+    #[test]
+    fn freed_spans_stay_sorted_and_coalesced() {
+        let mut runs: Vec<(PageNum, usize)> = Vec::new();
+        merge_run(&mut runs, PageNum(10), 2);
+        merge_run(&mut runs, PageNum(20), 1);
+        merge_run(&mut runs, PageNum(12), 3); // merges below
+        merge_run(&mut runs, PageNum(15), 5); // bridges to 20
+        assert_eq!(runs, vec![(PageNum(10), 11)]);
+        assert!(runs_overlap(&runs, PageNum(20), 1));
+        assert!(!runs_overlap(&runs, PageNum(21), 4));
+        assert!(!runs_overlap(&runs, PageNum(5), 5));
+        assert!(runs_overlap(&runs, PageNum(5), 6));
     }
 
     #[test]

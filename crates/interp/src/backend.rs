@@ -18,7 +18,7 @@
 //! | [`CapabilityBackend`] | SafeC/Xu-style | §5.2 comparison |
 
 use dangle_baselines::{CapabilityChecker, CheckError, CheckedMemory, EFence, Memcheck};
-use dangle_core::{ShadowHeap, ShadowPool};
+use dangle_core::{BatchConfig, ShadowConfig, ShadowHeap, ShadowPool};
 use dangle_heap::{AllocError, Allocator, SysHeap};
 use dangle_pool::{PoolError, PoolId, PoolSet};
 use dangle_telemetry::EventKind;
@@ -570,6 +570,17 @@ impl ShadowBackend {
         ShadowBackend::default()
     }
 
+    /// Creates the backend with vectored-syscall batching (shadow extents
+    /// and coalesced protects; see [`BatchConfig`]).
+    pub fn with_batching(batch: BatchConfig) -> ShadowBackend {
+        ShadowBackend {
+            heap: ShadowHeap::with_config(
+                SysHeap::new(),
+                ShadowConfig { batch, ..ShadowConfig::default() },
+            ),
+        }
+    }
+
     /// The detector (for diagnostics and stats).
     pub fn detector(&self) -> &ShadowHeap<SysHeap> {
         &self.heap
@@ -693,6 +704,15 @@ impl ShadowPoolBackend {
     /// shared page free list disabled, for ablations).
     pub fn with_pool_config(config: dangle_pool::PoolConfig) -> ShadowPoolBackend {
         ShadowPoolBackend { detector: ShadowPool::with_config(config), global_pool: None }
+    }
+
+    /// Creates the backend with vectored-syscall batching (per-pool shadow
+    /// extents and coalesced protects; see [`BatchConfig`]).
+    pub fn with_batching(batch: BatchConfig) -> ShadowPoolBackend {
+        ShadowPoolBackend {
+            detector: ShadowPool::with_batch(dangle_pool::PoolConfig::default(), batch),
+            global_pool: None,
+        }
     }
 
     /// The detector (for diagnostics and stats).
@@ -1233,6 +1253,15 @@ mod tests {
         exercise(&mut EFenceBackend::new(), true);
         exercise(&mut MemcheckBackend::new(), true);
         exercise(&mut CapabilityBackend::new(), true);
+    }
+
+    #[test]
+    fn batched_backends_detect_like_legacy() {
+        let batch = dangle_core::BatchConfig { enabled: true, ..Default::default() };
+        exercise(&mut ShadowBackend::with_batching(batch), true);
+        exercise(&mut ShadowPoolBackend::with_batching(batch), true);
+        exercise_bulk(&mut ShadowBackend::with_batching(batch), true);
+        exercise_bulk(&mut ShadowPoolBackend::with_batching(batch), true);
     }
 
     #[test]

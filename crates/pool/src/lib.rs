@@ -498,6 +498,44 @@ impl PoolSet {
         Ok(())
     }
 
+    /// Registers a contiguous run of `len` extra (shadow) pages with
+    /// `pool` in one call. The batched detector creates shadow pages in
+    /// extent runs; registering the whole run at build time replaces `len`
+    /// per-page [`PoolSet::register_extra_page`] calls, and `pooldestroy`
+    /// still sorts and merges everything back into free-list runs.
+    ///
+    /// # Errors
+    /// Pool-id errors as for [`PoolSet::alloc`].
+    pub fn register_extra_run(
+        &mut self,
+        pool: PoolId,
+        start: PageNum,
+        len: usize,
+    ) -> Result<(), PoolError> {
+        let p = self.pool_live(pool)?;
+        p.extra_pages.extend((0..len as u64).map(|i| start.add(i)));
+        Ok(())
+    }
+
+    /// Pops the lowest-based free run, truncated to at most `max` pages
+    /// (the remainder stays on the list). Unlike [`PoolSet::take_free_run`]
+    /// this never fails on fragmentation — any non-empty run satisfies it —
+    /// which is what the batched detector wants when feeding a shadow-page
+    /// extent from recycled VA.
+    pub fn take_free_run_capped(&mut self, max: usize) -> Option<(PageNum, usize)> {
+        if !self.config.reuse_pages || max == 0 {
+            return None;
+        }
+        let &(base, len) = self.free_runs.first()?;
+        let take = (len as usize).min(max);
+        if take == len as usize {
+            self.free_runs.remove(0);
+        } else {
+            self.free_runs[0] = (base.add(take as u64), len - take as u32);
+        }
+        Some((base, take))
+    }
+
     /// Removes a previously registered extra page from `pool` without
     /// recycling it (the §3.4 GC reclaims such pages early, then donates
     /// them via [`PoolSet::donate_page`]). Returns whether the page was
@@ -907,6 +945,37 @@ mod tests {
         assert!(ps.take_free_run(2).is_none());
         assert!(ps.take_free_run(1).is_some());
         assert!(ps.take_free_run(1).is_some());
+    }
+
+    #[test]
+    fn register_extra_run_releases_with_pool() {
+        let (mut m, mut ps) = setup();
+        let pp = ps.create(16);
+        ps.alloc(&mut m, pp, 16).unwrap(); // one canonical page
+        ps.register_extra_run(pp, PageNum(400), 3).unwrap();
+        ps.destroy(&mut m, pp).unwrap();
+        assert_eq!(ps.free_page_count(), 4);
+        // The registered run came back fully coalesced.
+        assert_eq!(ps.take_free_run(3), Some(PageNum(400)));
+    }
+
+    #[test]
+    fn take_free_run_capped_truncates_and_splits() {
+        let mut ps = PoolSet::new();
+        assert!(ps.take_free_run_capped(4).is_none(), "empty list");
+        for page in 500u64..506 {
+            ps.donate_page(PageNum(page));
+        }
+        // A 6-page run capped at 4 yields 4 and leaves 2.
+        assert_eq!(ps.take_free_run_capped(4), Some((PageNum(500), 4)));
+        assert_eq!(ps.free_page_count(), 2);
+        // Shorter-than-max runs come back whole.
+        assert_eq!(ps.take_free_run_capped(8), Some((PageNum(504), 2)));
+        assert_eq!(ps.free_page_count(), 0);
+        assert!(ps.take_free_run_capped(0).is_none());
+
+        let mut no_reuse = PoolSet::with_config(PoolConfig { reuse_pages: false });
+        assert!(no_reuse.take_free_run_capped(4).is_none());
     }
 
     #[test]

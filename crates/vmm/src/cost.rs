@@ -34,6 +34,11 @@ pub struct CostModel {
     pub syscall_munmap: u64,
     /// Per-page incremental cost of multi-page syscalls (PTE updates).
     pub syscall_per_page: u64,
+    /// Per-range incremental cost of vectored (batched) syscalls: argument
+    /// validation and VMA lookup for each `(addr, len)` entry, in the style
+    /// of `process_madvise`/io_uring submission entries. The batch still
+    /// pays exactly one base (kernel entry/exit) charge.
+    pub syscall_per_range: u64,
     /// A "dummy" syscall: kernel entry/exit with no work. Used by the
     /// `PA + dummy syscalls` configuration of Table 1/3 to isolate the
     /// system-call component of the overhead.
@@ -54,6 +59,7 @@ impl CostModel {
             syscall_mprotect: 1200,
             syscall_munmap: 1400,
             syscall_per_page: 40,
+            syscall_per_range: 120,
             syscall_dummy: 1000,
             page_zero: 256,
         }
@@ -71,6 +77,7 @@ impl CostModel {
             syscall_mprotect: 0,
             syscall_munmap: 0,
             syscall_per_page: 0,
+            syscall_per_range: 0,
             syscall_dummy: 0,
             page_zero: 0,
         }

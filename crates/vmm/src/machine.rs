@@ -251,8 +251,9 @@ impl Machine {
     /// A point-in-time snapshot of every telemetry series, extended with
     /// the machine-derived gauges (`vmm.tlb_hits`, `vmm.tlb_misses`,
     /// `vmm.loads`, `vmm.stores`, `vmm.traps`, `vmm.virt_pages_consumed`,
-    /// `vmm.virt_pages_mapped_peak`, `vmm.phys_frames_peak`) that are
-    /// maintained as plain fields rather than registry counters.
+    /// `vmm.virt_pages_mapped_peak`, `vmm.phys_frames_peak`,
+    /// `vmm.ranges_batched`) that are maintained as plain fields rather
+    /// than registry counters.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.telemetry.snapshot();
         let derived = [
@@ -264,6 +265,7 @@ impl Machine {
             ("vmm.virt_pages_consumed", self.virt_pages_consumed()),
             ("vmm.virt_pages_mapped_peak", self.stats.virt_pages_mapped_peak),
             ("vmm.phys_frames_peak", self.stats.phys_frames_peak),
+            ("vmm.ranges_batched", self.stats.ranges_batched),
         ];
         for (name, value) in derived {
             snap.counters.push((name.to_string(), value));
@@ -355,6 +357,37 @@ impl Machine {
 
     fn charge_syscall(&mut self, base: u64, pages: usize) {
         self.clock += base + self.config.cost.syscall_per_page * pages as u64;
+    }
+
+    /// One vectored kernel crossing: a single base charge, plus per-range
+    /// argument/VMA work and the usual per-page PTE work.
+    fn charge_batch_syscall(&mut self, base: u64, ranges: usize, pages: usize) {
+        self.clock += base
+            + self.config.cost.syscall_per_range * ranges as u64
+            + self.config.cost.syscall_per_page * pages as u64;
+    }
+
+    /// Validates the destination ranges of a vectored syscall: every range
+    /// must be non-empty and no two ranges may overlap (adjacent ranges are
+    /// fine). Returns the total page count. The
+    /// [`Trap::BadSyscallArgument`] carries the base of the offending range.
+    fn validate_batch_ranges(spans: &[(u64, usize)]) -> Result<usize, Trap> {
+        let mut sorted: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+        let mut total = 0usize;
+        for &(base, pages) in spans {
+            if pages == 0 {
+                return Err(Trap::BadSyscallArgument { addr: PageNum(base).base() });
+            }
+            sorted.push((base, base + pages as u64));
+            total += pages;
+        }
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(Trap::BadSyscallArgument { addr: PageNum(w[1].0).base() });
+            }
+        }
+        Ok(total)
     }
 
     /// `mmap`: maps `pages` fresh virtual pages to fresh zeroed frames with
@@ -542,6 +575,253 @@ impl Machine {
             }
         }
         self.note_event(addr, EventKind::Munmap { pages: pages as u32 });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Vectored (batched) system calls.
+    //
+    // Each call below applies many ranges in ONE modelled kernel crossing,
+    // in the style of `process_madvise`/io_uring submission batches: one
+    // base charge, plus `syscall_per_range` per entry and the usual
+    // `syscall_per_page` per page. Each batch bumps its family counter
+    // (`mprotect_calls`, `mmap_calls`, ...) exactly once — so
+    // `MachineStats::total_syscalls` keeps counting kernel crossings — and
+    // records exactly one family ring event covering the total page count.
+    //
+    // Shared semantics: an empty batch is a silent no-op (no charge, no
+    // counter, no event); destination ranges within one batch must be
+    // non-empty and mutually disjoint (adjacent is fine), else the whole
+    // batch fails with [`Trap::BadSyscallArgument`] *before* anything is
+    // charged or mutated.
+    // ------------------------------------------------------------------
+
+    /// Vectored `mprotect`: sets the protection of every `(addr, pages)`
+    /// range in one kernel crossing. Also counts in
+    /// [`MachineStats::mprotect_batch_calls`] and accumulates
+    /// [`MachineStats::ranges_batched`].
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] if ranges overlap, a range is empty, or
+    /// any page in any range is unmapped — checked up front, so a failed
+    /// batch charges nothing and changes nothing.
+    pub fn mprotect_batch(
+        &mut self,
+        ranges: &[(VirtAddr, usize)],
+        prot: Protection,
+    ) -> Result<(), Trap> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        let spans: Vec<(u64, usize)> =
+            ranges.iter().map(|&(a, p)| (a.page().raw(), p)).collect();
+        let total = Self::validate_batch_ranges(&spans)?;
+        for &(base, pages) in &spans {
+            for i in 0..pages as u64 {
+                if !self.page_table.contains(base + i) {
+                    return Err(Trap::BadSyscallArgument { addr: PageNum(base + i).base() });
+                }
+            }
+        }
+        self.stats.mprotect_calls += 1;
+        self.stats.mprotect_batch_calls += 1;
+        self.stats.ranges_batched += ranges.len() as u64;
+        self.charge_batch_syscall(self.config.cost.syscall_mprotect, ranges.len(), total);
+        self.ltc_invalidate();
+        for &(base, pages) in &spans {
+            for i in 0..pages as u64 {
+                assert!(self.page_table.set_prot(base + i, prot), "checked above");
+                self.tlb.invalidate(base + i);
+            }
+        }
+        self.note_event(ranges[0].0, EventKind::Mprotect { pages: total as u32 });
+        Ok(())
+    }
+
+    /// Vectored [`Machine::mmap_fixed`]: re-maps every `(addr, pages)` range
+    /// to fresh zeroed frames in one kernel crossing.
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] under the per-range rules of
+    /// [`Machine::mmap_fixed`] or on overlapping ranges (checked up front);
+    /// [`Trap::OutOfPhysicalMemory`] on frame exhaustion.
+    pub fn mmap_fixed_batch(&mut self, ranges: &[(VirtAddr, usize)]) -> Result<(), Trap> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        for &(addr, pages) in ranges {
+            if addr.offset() != 0 || pages == 0 {
+                return Err(Trap::BadSyscallArgument { addr });
+            }
+            let base = addr.page().raw();
+            if base < self.first_vpn || base + pages as u64 > self.next_vpn {
+                return Err(Trap::BadSyscallArgument { addr });
+            }
+        }
+        let spans: Vec<(u64, usize)> =
+            ranges.iter().map(|&(a, p)| (a.page().raw(), p)).collect();
+        let total = Self::validate_batch_ranges(&spans)?;
+        self.stats.mmap_calls += 1;
+        self.stats.ranges_batched += ranges.len() as u64;
+        self.charge_batch_syscall(self.config.cost.syscall_mmap, ranges.len(), total);
+        for &(base, pages) in &spans {
+            for i in 0..pages as u64 {
+                let frame = self.alloc_frame()?;
+                self.map_vpn(base + i, frame, Protection::ReadWrite);
+                self.tlb.invalidate(base + i);
+            }
+        }
+        self.note_event(ranges[0].0, EventKind::Mmap { pages: total as u32 });
+        Ok(())
+    }
+
+    /// Vectored [`Machine::munmap`]: removes every `(addr, pages)` range in
+    /// one kernel crossing. As for plain `munmap`, already-unmapped pages
+    /// within a range are skipped.
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] on empty or overlapping ranges.
+    pub fn munmap_batch(&mut self, ranges: &[(VirtAddr, usize)]) -> Result<(), Trap> {
+        if ranges.is_empty() {
+            return Ok(());
+        }
+        let spans: Vec<(u64, usize)> =
+            ranges.iter().map(|&(a, p)| (a.page().raw(), p)).collect();
+        let total = Self::validate_batch_ranges(&spans)?;
+        self.stats.munmap_calls += 1;
+        self.stats.ranges_batched += ranges.len() as u64;
+        self.charge_batch_syscall(self.config.cost.syscall_munmap, ranges.len(), total);
+        self.ltc_invalidate();
+        for &(base, pages) in &spans {
+            for i in 0..pages as u64 {
+                if let Some(pte) = self.page_table.remove(base + i) {
+                    self.decref_frame(pte.frame);
+                    self.tlb.invalidate(base + i);
+                    self.stats.virt_pages_mapped -= 1;
+                }
+            }
+        }
+        self.note_event(ranges[0].0, EventKind::Munmap { pages: total as u32 });
+        Ok(())
+    }
+
+    /// Vectored [`Machine::mremap_alias`]: creates a fresh shadow alias for
+    /// every `(src, pages)` range in one kernel crossing and returns the new
+    /// base addresses. Source ranges may repeat — aliasing one canonical
+    /// page many times is exactly the shadow-extent use case. Because fresh
+    /// virtual pages are handed out sequentially, the returned aliases of a
+    /// batch are **contiguous**, which is what lets a shadow extent occupy
+    /// adjacent pages.
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] if a range is empty or any source page
+    /// is unmapped (checked up front); [`Trap::OutOfVirtualMemory`] on VA
+    /// exhaustion.
+    pub fn mremap_alias_batch(
+        &mut self,
+        ranges: &[(VirtAddr, usize)],
+    ) -> Result<Vec<VirtAddr>, Trap> {
+        if ranges.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut frames: Vec<Vec<u32>> = Vec::with_capacity(ranges.len());
+        let mut total = 0usize;
+        for &(src, pages) in ranges {
+            if pages == 0 {
+                return Err(Trap::BadSyscallArgument { addr: src });
+            }
+            let src_base = src.page().raw();
+            let mut fs = Vec::with_capacity(pages);
+            for i in 0..pages as u64 {
+                match self.page_table.get(src_base + i) {
+                    Some(pte) => fs.push(pte.frame),
+                    None => {
+                        return Err(Trap::BadSyscallArgument {
+                            addr: PageNum(src_base + i).base(),
+                        })
+                    }
+                }
+            }
+            frames.push(fs);
+            total += pages;
+        }
+        if self.next_vpn + total as u64 > self.first_vpn + self.config.virt_pages {
+            return Err(Trap::OutOfVirtualMemory);
+        }
+        self.stats.mremap_calls += 1;
+        self.stats.ranges_batched += ranges.len() as u64;
+        self.charge_batch_syscall(self.config.cost.syscall_mremap, ranges.len(), total);
+        let mut out = Vec::with_capacity(ranges.len());
+        for fs in frames {
+            let new_base = self.take_vpns(fs.len()).expect("reserved above");
+            for (i, frame) in fs.into_iter().enumerate() {
+                self.incref_frame(frame);
+                self.map_vpn(new_base + i as u64, frame, Protection::ReadWrite);
+            }
+            out.push(PageNum(new_base).base());
+        }
+        self.note_event(out[0], EventKind::Mremap { pages: total as u32 });
+        Ok(out)
+    }
+
+    /// Vectored [`Machine::alias_fixed`]: re-maps every `(src, dst, pages)`
+    /// entry as an alias of the frames backing its source, in one kernel
+    /// crossing. Destination ranges must be disjoint; sources may repeat
+    /// (re-pointing a recycled run of shadow pages at one canonical page).
+    ///
+    /// # Errors
+    /// [`Trap::BadSyscallArgument`] under the per-entry rules of
+    /// [`Machine::alias_fixed`] or on overlapping destinations — checked up
+    /// front, so a failed batch charges nothing and changes nothing.
+    pub fn alias_fixed_batch(
+        &mut self,
+        entries: &[(VirtAddr, VirtAddr, usize)],
+    ) -> Result<(), Trap> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        for &(_, dst, pages) in entries {
+            if dst.offset() != 0 || pages == 0 {
+                return Err(Trap::BadSyscallArgument { addr: dst });
+            }
+            let dst_base = dst.page().raw();
+            if dst_base < self.first_vpn || dst_base + pages as u64 > self.next_vpn {
+                return Err(Trap::BadSyscallArgument { addr: dst });
+            }
+        }
+        let spans: Vec<(u64, usize)> =
+            entries.iter().map(|&(_, d, p)| (d.page().raw(), p)).collect();
+        let total = Self::validate_batch_ranges(&spans)?;
+        for &(src, _, pages) in entries {
+            let src_base = src.page().raw();
+            for i in 0..pages as u64 {
+                if !self.page_table.contains(src_base + i) {
+                    return Err(Trap::BadSyscallArgument {
+                        addr: PageNum(src_base + i).base(),
+                    });
+                }
+            }
+        }
+        self.stats.mmap_calls += 1;
+        self.stats.ranges_batched += entries.len() as u64;
+        self.charge_batch_syscall(self.config.cost.syscall_mmap, entries.len(), total);
+        // Entries apply sequentially, re-reading source frames at apply
+        // time: an earlier entry may legally re-point a later entry's
+        // source range (re-mapping never unmaps, so the validation above
+        // stays true), and the later entry must alias the *current*
+        // frames, not a stale snapshot.
+        for &(src, dst, pages) in entries {
+            let src_base = src.page().raw();
+            let dst_base = dst.page().raw();
+            for i in 0..pages as u64 {
+                let frame =
+                    self.page_table.get(src_base + i).expect("validated above").frame;
+                self.incref_frame(frame);
+                self.map_vpn(dst_base + i, frame, Protection::ReadWrite);
+                self.tlb.invalidate(dst_base + i);
+            }
+        }
+        self.note_event(entries[0].1, EventKind::Mmap { pages: total as u32 });
         Ok(())
     }
 
@@ -1248,6 +1528,147 @@ mod tests {
         assert_eq!(m.stats().virt_pages_mapped, 2);
         assert_eq!(m.stats().virt_pages_mapped_peak, 4);
         assert_eq!(m.virt_pages_consumed(), 4);
+    }
+
+    #[test]
+    fn mprotect_batch_applies_all_ranges_in_one_crossing() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        let s1 = m.mremap_alias(a, 1).unwrap();
+        let s2 = m.mremap_alias(a, 1).unwrap();
+        let calls = m.stats().mprotect_calls;
+        m.mprotect_batch(&[(s1, 1), (s2, 1)], Protection::None).unwrap();
+        assert_eq!(m.stats().mprotect_calls, calls + 1, "one crossing");
+        assert_eq!(m.stats().mprotect_batch_calls, 1);
+        assert_eq!(m.stats().ranges_batched, 2);
+        assert!(m.load_u64(s1).is_err());
+        assert!(m.load_u64(s2).is_err());
+        assert!(m.load_u64(a).is_ok(), "canonical untouched");
+    }
+
+    #[test]
+    fn batch_cost_is_one_base_plus_per_range_and_per_page() {
+        let mut m = Machine::new(); // calibrated costs
+        let a = m.mmap(4).unwrap();
+        let s1 = m.mremap_alias(a, 2).unwrap();
+        let s2 = m.mremap_alias(a, 3).unwrap();
+        let c = CostModel::calibrated();
+        let c0 = m.clock();
+        m.mprotect_batch(&[(s1, 2), (s2, 3)], Protection::None).unwrap();
+        assert_eq!(
+            m.clock() - c0,
+            c.syscall_mprotect + 2 * c.syscall_per_range + 5 * c.syscall_per_page
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_silent_noops() {
+        let mut m = Machine::new();
+        let clock = m.clock();
+        let stats = *m.stats();
+        m.mprotect_batch(&[], Protection::None).unwrap();
+        m.mmap_fixed_batch(&[]).unwrap();
+        m.munmap_batch(&[]).unwrap();
+        m.alias_fixed_batch(&[]).unwrap();
+        assert!(m.mremap_alias_batch(&[]).unwrap().is_empty());
+        assert_eq!(m.clock(), clock, "no charge");
+        assert_eq!(*m.stats(), stats, "no counters");
+        assert_eq!(m.telemetry().ring().total_recorded(), 0, "no events");
+    }
+
+    #[test]
+    fn adjacent_batch_ranges_are_legal() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        let s = m.mremap_alias(a, 1).unwrap();
+        let t = m.mremap_alias(a, 1).unwrap();
+        assert_eq!(t.page().raw(), s.page().raw() + 1, "aliases are sequential");
+        m.mprotect_batch(&[(s, 1), (t, 1)], Protection::None).unwrap();
+        assert!(m.load_u64(s).is_err());
+        assert!(m.load_u64(t).is_err());
+    }
+
+    #[test]
+    fn overlapping_batch_ranges_trap_without_side_effects() {
+        let mut m = Machine::new();
+        let a = m.mmap(4).unwrap();
+        let clock = m.clock();
+        let stats = *m.stats();
+        let err = m
+            .mprotect_batch(&[(a, 3), (a.add(2 * PAGE_SIZE as u64), 2)], Protection::None)
+            .unwrap_err();
+        assert!(matches!(err, Trap::BadSyscallArgument { .. }));
+        let err = m.mprotect_batch(&[(a, 0)], Protection::None).unwrap_err();
+        assert!(matches!(err, Trap::BadSyscallArgument { .. }), "empty range");
+        let err = m.munmap_batch(&[(a, 2), (a.add(PAGE_SIZE as u64), 1)]).unwrap_err();
+        assert!(matches!(err, Trap::BadSyscallArgument { .. }));
+        assert_eq!(m.clock(), clock, "failed batches charge nothing");
+        assert_eq!(*m.stats(), stats, "failed batches count nothing");
+        assert_eq!(m.protection(a), Some(Protection::ReadWrite), "nothing applied");
+    }
+
+    #[test]
+    fn mremap_alias_batch_returns_contiguous_aliases() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 99).unwrap();
+        let calls = m.stats().mremap_calls;
+        let out = m.mremap_alias_batch(&[(a, 1), (a, 1), (a, 1)]).unwrap();
+        assert_eq!(m.stats().mremap_calls, calls + 1, "one crossing");
+        assert_eq!(m.stats().ranges_batched, 3);
+        assert_eq!(out.len(), 3);
+        for w in out.windows(2) {
+            assert_eq!(w[1].page().raw(), w[0].page().raw() + 1, "contiguous extent");
+        }
+        for s in &out {
+            assert_eq!(m.load_u64(*s).unwrap(), 99);
+            assert_eq!(m.frame_of(*s), m.frame_of(a));
+        }
+    }
+
+    #[test]
+    fn mmap_fixed_batch_severs_aliasing_per_range() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 13).unwrap();
+        let out = m.mremap_alias_batch(&[(a, 1), (a, 1)]).unwrap();
+        let calls = m.stats().mmap_calls;
+        m.mmap_fixed_batch(&[(out[0], 1), (out[1], 1)]).unwrap();
+        assert_eq!(m.stats().mmap_calls, calls + 1, "one crossing");
+        for s in &out {
+            assert_ne!(m.frame_of(*s), m.frame_of(a), "fresh frame");
+            assert_eq!(m.load_u64(*s).unwrap(), 0, "zeroed");
+        }
+        assert_eq!(m.load_u64(a).unwrap(), 13);
+    }
+
+    #[test]
+    fn alias_fixed_batch_repoints_a_run_at_one_canonical_page() {
+        let mut m = m();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 55).unwrap();
+        let run = m.mremap_alias_batch(&[(a, 1), (a, 1)]).unwrap();
+        m.mprotect_batch(&[(run[0], 2)], Protection::None).unwrap();
+        let b = m.mmap(1).unwrap();
+        m.store_u64(b, 66).unwrap();
+        // Re-point the whole recycled run at b in one crossing.
+        m.alias_fixed_batch(&[(b, run[0], 1), (b, run[1], 1)]).unwrap();
+        assert_eq!(m.load_u64(run[0]).unwrap(), 66);
+        assert_eq!(m.load_u64(run[1]).unwrap(), 66);
+        assert_eq!(m.frame_of(run[0]), m.frame_of(b));
+        assert_eq!(m.load_u64(a).unwrap(), 55, "old canonical untouched");
+    }
+
+    #[test]
+    fn munmap_batch_releases_every_range() {
+        let mut m = m();
+        let a = m.mmap(2).unwrap();
+        let b = m.mmap(3).unwrap();
+        let mapped = m.stats().virt_pages_mapped;
+        m.munmap_batch(&[(a, 2), (b, 3)]).unwrap();
+        assert_eq!(m.stats().virt_pages_mapped, mapped - 5);
+        assert!(m.load_u64(a).is_err());
+        assert!(m.load_u64(b).is_err());
     }
 
     #[test]

@@ -236,7 +236,7 @@ fn radix_machine_is_bit_identical_to_reference() {
 
         for step in 0..300 {
             let tag = format!("case {case} step {step}");
-            match rng.below(16) {
+            match rng.below(20) {
                 0 | 1 => {
                     let pages = 1 + rng.below(3) as usize;
                     let (a, b) = (reference.mmap(pages), radix.mmap(pages));
@@ -338,6 +338,65 @@ fn radix_machine_is_bit_identical_to_reference() {
                         "{tag}: copy"
                     );
                 }
+                // Vectored syscalls: random range sets, which sometimes
+                // overlap or hit unmapped pages — error paths must agree
+                // bit-for-bit too.
+                16 if !regions.is_empty() => {
+                    let n = 1 + rng.below(3) as usize;
+                    let batch: Vec<_> = (0..n)
+                        .map(|_| regions[rng.below(regions.len() as u64) as usize])
+                        .collect();
+                    let prot = match rng.below(3) {
+                        0 => Protection::None,
+                        1 => Protection::Read,
+                        _ => Protection::ReadWrite,
+                    };
+                    assert_eq!(
+                        reference.mprotect_batch(&batch, prot),
+                        radix.mprotect_batch(&batch, prot),
+                        "{tag}: mprotect_batch"
+                    );
+                }
+                17 if !regions.is_empty() => {
+                    let n = 1 + rng.below(3) as usize;
+                    let batch: Vec<_> = (0..n)
+                        .map(|_| regions[rng.below(regions.len() as u64) as usize])
+                        .collect();
+                    let (x, y) =
+                        (reference.mremap_alias_batch(&batch), radix.mremap_alias_batch(&batch));
+                    assert_eq!(x, y, "{tag}: mremap_alias_batch");
+                    if let Ok(aliases) = x {
+                        for (alias, (_, p)) in aliases.into_iter().zip(batch) {
+                            regions.push((alias, p));
+                        }
+                    }
+                }
+                18 if !regions.is_empty() => {
+                    let n = 1 + rng.below(3) as usize;
+                    let batch: Vec<_> = (0..n)
+                        .map(|_| regions[rng.below(regions.len() as u64) as usize])
+                        .collect();
+                    assert_eq!(
+                        reference.mmap_fixed_batch(&batch),
+                        radix.mmap_fixed_batch(&batch),
+                        "{tag}: mmap_fixed_batch"
+                    );
+                }
+                19 if regions.len() >= 2 => {
+                    let n = 1 + rng.below(2) as usize;
+                    let batch: Vec<_> = (0..n)
+                        .map(|_| {
+                            let (src, sp) = regions[rng.below(regions.len() as u64) as usize];
+                            let (dst, dp) = regions[rng.below(regions.len() as u64) as usize];
+                            (src, dst, sp.min(dp))
+                        })
+                        .collect();
+                    assert_eq!(
+                        reference.alias_fixed_batch(&batch),
+                        radix.alias_fixed_batch(&batch),
+                        "{tag}: alias_fixed_batch"
+                    );
+                }
                 _ => {
                     reference.dummy_syscall();
                     radix.dummy_syscall();
@@ -367,7 +426,7 @@ fn telemetry_counters_match_stats_under_random_syscalls() {
         let mut m = Machine::free_running();
         let mut live: Vec<(VirtAddr, usize)> = Vec::new();
         for _ in 0..200 {
-            match rng.below(5) {
+            match rng.below(7) {
                 0 => {
                     let pages = 1 + rng.below(3) as usize;
                     let a = m.mmap(pages).unwrap();
@@ -387,6 +446,25 @@ fn telemetry_counters_match_stats_under_random_syscalls() {
                     let i = rng.below(live.len() as u64) as usize;
                     let (a, p) = live.swap_remove(i);
                     m.munmap(a, p).unwrap();
+                }
+                // A vectored mprotect is ONE crossing: one family counter
+                // bump and one ring event, however many ranges it carries.
+                4 if live.len() >= 2 => {
+                    let i = rng.below(live.len() as u64) as usize;
+                    let mut j = rng.below(live.len() as u64) as usize;
+                    if i == j {
+                        j = (j + 1) % live.len();
+                    }
+                    let batch = [live[i], live[j]];
+                    m.mprotect_batch(&batch, Protection::Read).unwrap();
+                    m.mprotect_batch(&batch, Protection::ReadWrite).unwrap();
+                }
+                5 if !live.is_empty() => {
+                    let (a, p) = live[rng.below(live.len() as u64) as usize];
+                    let aliases = m.mremap_alias_batch(&[(a, p), (a, p)]).unwrap();
+                    for alias in aliases {
+                        live.push((alias, p));
+                    }
                 }
                 _ => m.dummy_syscall(),
             }

@@ -34,6 +34,12 @@ pub struct MachineStats {
     pub phys_frames_in_use: u64,
     /// High-water mark of `phys_frames_in_use`.
     pub phys_frames_peak: u64,
+    /// Vectored `mprotect` crossings (each also counted in
+    /// `mprotect_calls`, so `total_syscalls` stays the crossing count).
+    pub mprotect_batch_calls: u64,
+    /// Total `(addr, len)` ranges submitted across *all* vectored syscalls
+    /// (mprotect/mmap/mremap/munmap batches).
+    pub ranges_batched: u64,
 }
 
 impl MachineStats {
