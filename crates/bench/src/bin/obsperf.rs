@@ -1,0 +1,183 @@
+//! **obsperf** — flight-recorder overhead and attribution study.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin obsperf
+//! ```
+//!
+//! Runs the server workloads the paper's observability story centres on
+//! (ftpd and a keep-alive ghttpd loop) under `Config::Ours`, once with the
+//! flight recorder off (the default, exactly what every table artifact
+//! uses) and once with it on, and verifies the recorder's contract:
+//!
+//! * **cycle neutrality** — tracing charges zero *simulated* cycles, so
+//!   the on/off clocks are equal (trivially under the < 5% bound asserted
+//!   here) and checksums/trap counts match;
+//! * **exact attribution** — the per-category cycle table (app /
+//!   detector-metadata / protection-syscalls / TLB+L1 penalty /
+//!   pool-recycling) sums to the total simulated cycles, ±0;
+//! * **detection identity** — an injected use-after-free produces a
+//!   byte-identical trap report with tracing off and on.
+//!
+//! The artifact is `BENCH_obsperf.json` (attribution breakdown + request
+//! latency p50/p99/p999 per workload); `obsperf.folded` is a collapsed
+//! stack export of the span tree (`<workload>;<span>;... cycles` lines,
+//! flamegraph.pl-compatible). `OBSPERF_QUICK=1` shrinks the workloads for
+//! CI smoke runs.
+
+use dangle_bench::{measure_backend, measure_on, render_table, Artifact, Config, Measurement};
+use dangle_interp::backend::BackendError;
+use dangle_telemetry::{HistogramSnapshot, Json, TelemetryConfig};
+use dangle_vmm::{Machine, MachineConfig};
+use dangle_workloads::servers::{Ftpd, GhttpdKeepAlive};
+use dangle_workloads::{Workload, REQUEST_HISTOGRAM};
+
+/// The default machine with the flight recorder switched on.
+fn traced_config() -> MachineConfig {
+    MachineConfig { telemetry: TelemetryConfig::traced(), ..MachineConfig::default() }
+}
+
+/// Injects a use-after-free on a fresh detector and returns the rendered
+/// trap report. Called with tracing off and on: the reports must match
+/// byte for byte, because the recorder observes the detector without
+/// steering it.
+fn injected_uaf_report(traced: bool) -> String {
+    let config = if traced { traced_config() } else { MachineConfig::default() };
+    let mut m = Machine::with_config(config);
+    let mut b = Config::Ours.backend();
+    let p = b.alloc(&mut m, 16, None).expect("probe alloc");
+    b.store(&mut m, p, 8, 0xdead).expect("probe store");
+    b.free(&mut m, p, None).expect("probe free");
+    let BackendError::Trap { report, .. } = b.load(&mut m, p, 8).expect_err("must trap") else {
+        panic!("UAF not trapped (traced={traced})")
+    };
+    report.expect("trap must be attributed")
+}
+
+/// The `request.cycles` histogram of a traced run.
+fn latency(m: &Measurement) -> &HistogramSnapshot {
+    m.metrics
+        .histograms
+        .iter()
+        .find(|h| h.name == REQUEST_HISTOGRAM)
+        .expect("traced runs populate the request latency histogram")
+}
+
+fn main() {
+    let quick = std::env::var("OBSPERF_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    let report_off = injected_uaf_report(false);
+    let report_on = injected_uaf_report(true);
+    assert_eq!(report_off, report_on, "tracing must not change trap reports");
+
+    let workloads: Vec<Box<dyn Workload>> = if quick {
+        vec![
+            Box::new(Ftpd { connections: 2, commands_per_connection: 3, file_bytes: 6_000 }),
+            Box::new(GhttpdKeepAlive {
+                connections: 4,
+                requests_per_connection: 24,
+                response_bytes: 2_000,
+            }),
+        ]
+    } else {
+        vec![Box::new(Ftpd::default()), Box::new(GhttpdKeepAlive::default())]
+    };
+
+    let header = ["Workload", "cycles", "overhead", "app%", "detector%", "syscall%", "tlb%", "recycle%", "req p50", "req p99", "req p999"];
+    let mut rows = Vec::new();
+    let mut artifact_rows = Vec::new();
+    let mut folded = String::new();
+    for w in &workloads {
+        // Off: the exact configuration every table artifact measures.
+        let mut backend_off = Config::Ours.backend();
+        let off = measure_backend(w.as_ref(), backend_off.as_mut(), MachineConfig::default());
+        // On: same machine shape plus the recorder; keep the machine to
+        // read the span tree afterwards.
+        let mut machine = Machine::with_config(traced_config());
+        let mut backend_on = Config::Ours.backend();
+        let on = measure_on(w.as_ref(), backend_on.as_mut(), &mut machine);
+
+        assert_eq!(off.checksum, on.checksum, "{}: tracing changed behaviour", w.name());
+        assert_eq!(off.stats.traps, on.stats.traps, "{}: trap totals", w.name());
+        let overhead = on.cycles as f64 / off.cycles.max(1) as f64;
+        assert!(
+            overhead < 1.05,
+            "{}: tracing overhead {overhead:.4} must stay under 5%",
+            w.name()
+        );
+        assert_eq!(off.cycles, on.cycles, "{}: tracing is cycle-neutral by design", w.name());
+
+        let tracer = machine.telemetry().tracer().expect("tracing on");
+        let categories = tracer.categories();
+        let total: u64 = categories.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, on.cycles, "{}: attribution must sum to the clock, ±0", w.name());
+
+        let lat = latency(&on).clone();
+        assert!(lat.count > 0, "{}: request spans recorded", w.name());
+
+        let share = |name: &str| {
+            let c = categories.iter().find(|&&(n, _)| n == name).map_or(0, |&(_, c)| c);
+            format!("{:.1}%", 100.0 * c as f64 / total.max(1) as f64)
+        };
+        rows.push(vec![
+            w.name().to_string(),
+            on.cycles.to_string(),
+            format!("{overhead:.3}x"),
+            share("app"),
+            share("detector_metadata"),
+            share("protection_syscalls"),
+            share("tlb_l1_penalty"),
+            share("pool_recycling"),
+            lat.p50.to_string(),
+            lat.p99.to_string(),
+            lat.p999.to_string(),
+        ]);
+
+        for line in tracer.fold().lines() {
+            folded.push_str(w.name());
+            folded.push(';');
+            folded.push_str(line);
+            folded.push('\n');
+        }
+
+        artifact_rows.push(Json::Obj(vec![
+            ("workload".into(), Json::Str(w.name().to_string())),
+            ("cycles_off".into(), Json::from_u64(off.cycles)),
+            ("cycles_on".into(), Json::from_u64(on.cycles)),
+            ("tracing_overhead_ratio".into(), Json::Float(overhead)),
+            (
+                "attribution".into(),
+                Json::Obj(
+                    categories
+                        .iter()
+                        .map(|&(n, c)| (n.to_string(), Json::from_u64(c)))
+                        .collect(),
+                ),
+            ),
+            ("attribution_total".into(), Json::from_u64(total)),
+            (
+                "latency".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::from_u64(lat.count)),
+                    ("p50".into(), Json::from_u64(lat.p50)),
+                    ("p99".into(), Json::from_u64(lat.p99)),
+                    ("p999".into(), Json::from_u64(lat.p999)),
+                ]),
+            ),
+            ("measurement".into(), on.to_json()),
+        ]));
+    }
+
+    std::fs::write("obsperf.folded", &folded).expect("write obsperf.folded");
+
+    println!("obsperf: flight-recorder attribution and overhead\n");
+    println!("{}", render_table(&header, &rows));
+    println!("(attribution sums to the clock ±0; trap reports byte-identical off vs on.)");
+    println!("collapsed stacks: obsperf.folded ({} lines)", folded.lines().count());
+
+    let mut artifact = Artifact::new("obsperf");
+    artifact.set("quick", Json::Bool(quick));
+    artifact.set("rows", Json::Arr(artifact_rows));
+    artifact.set("detections_identical", Json::Bool(true));
+    artifact.set("folded_lines", Json::from_u64(folded.lines().count() as u64));
+    artifact.write_cwd().expect("write BENCH artifact");
+}

@@ -27,14 +27,14 @@
 //! `SYSCALLPERF_QUICK=1` shrinks the workloads for CI smoke runs. The
 //! artifact is `BENCH_syscallperf.json`.
 
-use dangle_bench::{render_table, Artifact, Measurement};
+use dangle_bench::{measure_backend, render_table, Artifact, Measurement};
 use dangle_core::BatchConfig;
 use dangle_interp::backend::{Backend, BackendError, ShadowPoolBackend};
 use dangle_telemetry::Json;
 use dangle_vmm::{Machine, MachineConfig};
 use dangle_workloads::olden_trees::{Perimeter, TreeAdd};
-use dangle_workloads::servers::Ftpd;
-use dangle_workloads::{mix, Ctx, WResult, Workload};
+use dangle_workloads::servers::{Ftpd, GhttpdKeepAlive};
+use dangle_workloads::Workload;
 
 /// The three detector configurations compared by every row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,59 +60,10 @@ impl Mode {
     }
 }
 
-/// A keep-alive web server: one pool per connection, many requests per
-/// connection, each allocating a header and a response buffer that live
-/// until the connection's pool dies wholesale. No individual frees — the
-/// allocation-side pattern shadow extents are built for, and the §4.3
-/// server shape (few allocations, pool-scoped lifetimes) taken to the
-/// keep-alive limit.
-struct GhttpdKeepAlive {
-    connections: usize,
-    requests_per_connection: usize,
-    response_bytes: usize,
-}
-
-impl Workload for GhttpdKeepAlive {
-    fn name(&self) -> &'static str {
-        "ghttpd-keepalive"
-    }
-
-    fn run(&self, machine: &mut Machine, backend: &mut dyn Backend) -> WResult<u64> {
-        let mut ctx = Ctx::new(machine, backend);
-        let mut acc = 0u64;
-        for conn in 0..self.connections {
-            let pool = ctx.pool_create(0)?;
-            for req in 0..self.requests_per_connection {
-                let seed = (conn * 8191 + req) as u64;
-                // Request header + response buffer, both connection-lived.
-                let hdr = ctx.alloc(4, Some(pool))?;
-                ctx.put(hdr, 0, seed)?;
-                ctx.put(hdr, 1, req as u64)?;
-                let buf = ctx.alloc_bytes(self.response_bytes, Some(pool))?;
-                ctx.memset(buf, (seed & 0xff) as u8, self.response_bytes)?;
-                acc = mix(acc, ctx.get(hdr, 0)?);
-                acc = mix(acc, ctx.get_u8(buf, self.response_bytes / 2)? as u64);
-                ctx.compute(600); // parse + send work outside the allocator
-            }
-            ctx.pool_destroy(pool)?;
-        }
-        Ok(acc)
-    }
-}
-
-/// Runs `workload` under `mode` on a calibrated machine.
+/// Runs `workload` under `mode` through the shared measurement helper.
 fn run(workload: &dyn Workload, mode: Mode) -> Measurement {
-    let mut machine = Machine::with_config(MachineConfig::default());
     let mut backend = mode.backend();
-    let checksum = workload
-        .run(&mut machine, &mut backend)
-        .unwrap_or_else(|e| panic!("{} under {mode:?}: {e}", workload.name()));
-    Measurement {
-        cycles: machine.clock(),
-        checksum,
-        stats: *machine.stats(),
-        metrics: machine.metrics_snapshot(),
-    }
+    measure_backend(workload, &mut backend, MachineConfig::default())
 }
 
 /// The crossings the batching work targets (recycling `munmap`s are also

@@ -202,11 +202,43 @@ pub fn measure_with(
     config: Config,
     machine_config: MachineConfig,
 ) -> Measurement {
-    let mut machine = Machine::with_config(machine_config);
     let mut backend = config.backend();
+    measure_backend(workload, backend.as_mut(), machine_config)
+}
+
+/// The one measurement helper every harness shares: runs `workload` on an
+/// explicit `backend` instance (for detector configurations that have no
+/// [`Config`] key, e.g. batched-syscall modes) on a fresh machine, and
+/// packages the result exactly like [`measure`]. Telemetry series are
+/// zeroed via [`dangle_telemetry::Telemetry::reset_for_run`] before the
+/// run, so consecutive configurations can never bleed counters or
+/// histograms into each other's artifact rows.
+///
+/// # Panics
+/// Panics if the workload fails.
+pub fn measure_backend(
+    workload: &dyn Workload,
+    backend: &mut dyn Backend,
+    machine_config: MachineConfig,
+) -> Measurement {
+    let mut machine = Machine::with_config(machine_config);
+    measure_on(workload, backend, &mut machine)
+}
+
+/// [`measure_backend`] on a caller-owned machine, for harnesses that need
+/// to inspect machine state (e.g. the flight recorder) after the run.
+///
+/// # Panics
+/// Panics if the workload fails.
+pub fn measure_on(
+    workload: &dyn Workload,
+    backend: &mut dyn Backend,
+    machine: &mut Machine,
+) -> Measurement {
+    machine.telemetry_mut().reset_for_run();
     let checksum = workload
-        .run(&mut machine, backend.as_mut())
-        .unwrap_or_else(|e| panic!("{} under {:?}: {e}", workload.name(), config));
+        .run(machine, backend)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), backend.name()));
     Measurement {
         cycles: machine.clock(),
         checksum,
@@ -266,6 +298,18 @@ mod tests {
         let b = measure(&w, Config::Ours);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn measurements_are_isolated_across_configurations() {
+        // A run sandwiched between two other configurations must produce a
+        // byte-identical artifact row to a standalone run — no counter or
+        // histogram bleed through the measurement helper.
+        let w = Ghttpd { connections: 2, response_bytes: 2000 };
+        let first = measure(&w, Config::Ours);
+        let _between = measure(&w, Config::Memcheck);
+        let again = measure(&w, Config::Ours);
+        assert_eq!(first.to_json().to_string(), again.to_json().to_string());
     }
 
     #[test]

@@ -140,11 +140,17 @@ impl DanglingReport {
         machine: &Machine,
         use_site: &str,
         context_events: usize,
+        registry: &ObjectRegistry,
     ) -> TrapReport {
         let free_site = match self.object.state {
             ObjectState::Freed { free_site } => Some(sites.name(free_site).to_string()),
             ObjectState::Live => None,
         };
+        let (alloc_stack, free_stack) = registry
+            .stacks(self.object.base)
+            .map(|(a, f)| (a.to_vec(), f.to_vec()))
+            .unwrap_or_default();
+        let ring = machine.telemetry().ring();
         TrapReport {
             kind: self.kind.to_string(),
             fault_addr: self.fault_addr.raw(),
@@ -152,8 +158,13 @@ impl DanglingReport {
             object_base: self.object.base.raw(),
             object_size: self.object.size as u64,
             alloc_site: sites.name(self.object.alloc_site).to_string(),
+            alloc_stack,
             free_site,
+            free_stack,
             use_site: use_site.to_string(),
+            use_stack: machine.telemetry().call_stack().to_vec(),
+            ring_capacity: ring.capacity() as u64,
+            ring_dropped: ring.dropped(),
             events: machine.telemetry().tail(context_events),
         }
     }
@@ -169,6 +180,13 @@ impl DanglingReport {
 pub struct ObjectRegistry {
     records: Vec<ObjectRecord>,
     by_page: HashMap<PageNum, usize>,
+    /// Full call stacks at allocation time, parallel to `records`. Kept in
+    /// side tables so [`ObjectRecord`] stays `Copy`; empty when the program
+    /// did not run under the interpreter's shadow call stack.
+    alloc_stacks: Vec<Vec<String>>,
+    /// Full call stacks at free time, parallel to `records` (empty while
+    /// the object is live).
+    free_stacks: Vec<Vec<String>>,
 }
 
 impl ObjectRegistry {
@@ -188,6 +206,8 @@ impl ObjectRegistry {
             alloc_site,
             state: ObjectState::Live,
         });
+        self.alloc_stacks.push(Vec::new());
+        self.free_stacks.push(Vec::new());
         for &p in span {
             self.by_page.insert(p, idx);
         }
@@ -211,8 +231,20 @@ impl ObjectRegistry {
             alloc_site,
             state: ObjectState::Live,
         });
+        self.alloc_stacks.push(Vec::new());
+        self.free_stacks.push(Vec::new());
         for i in 0..span as u64 {
             self.by_page.insert(start.add(i), idx);
+        }
+    }
+
+    /// Attaches the full call stack at allocation time to the most
+    /// recently inserted object. Detector alloc paths call this right
+    /// after `insert`/`insert_range` when a shadow call stack is live.
+    pub fn note_alloc_stack(&mut self, stack: &[String]) {
+        if let Some(slot) = self.alloc_stacks.last_mut() {
+            slot.clear();
+            slot.extend_from_slice(stack);
         }
     }
 
@@ -223,9 +255,29 @@ impl ObjectRegistry {
         }
     }
 
+    /// [`ObjectRegistry::mark_freed`], also recording the full call stack
+    /// at free time.
+    pub fn mark_freed_traced(&mut self, base: VirtAddr, free_site: SiteId, stack: &[String]) {
+        if let Some(&idx) = self.by_page.get(&base.page()) {
+            self.records[idx].state = ObjectState::Freed { free_site };
+            let slot = &mut self.free_stacks[idx];
+            slot.clear();
+            slot.extend_from_slice(stack);
+        }
+    }
+
     /// Looks up the object owning `addr`, if any.
     pub fn lookup(&self, addr: VirtAddr) -> Option<&ObjectRecord> {
         self.by_page.get(&addr.page()).map(|&i| &self.records[i])
+    }
+
+    /// The (alloc, free) call stacks of the object owning `addr`, if
+    /// tracked. Either side is empty when no shadow call stack was live at
+    /// the corresponding operation.
+    pub fn stacks(&self, addr: VirtAddr) -> Option<(&[String], &[String])> {
+        self.by_page
+            .get(&addr.page())
+            .map(|&i| (self.alloc_stacks[i].as_slice(), self.free_stacks[i].as_slice()))
     }
 
     /// Drops the records registered for `pages` (pool destroy).
@@ -373,6 +425,23 @@ mod tests {
         assert_eq!(by_slice.tracked_pages(), by_range.tracked_pages());
         assert!(by_range.lookup(PageNum(20).base()).is_none());
         assert!(by_range.lookup(PageNum(22).base()).is_some());
+    }
+
+    #[test]
+    fn stack_side_tables_follow_the_object() {
+        let mut r = ObjectRegistry::new();
+        let base = PageNum(7).base().add(8);
+        r.insert_range(base, 32, SiteId(1), PageNum(7), 1);
+        r.note_alloc_stack(&["main".to_string(), "make_node".to_string()]);
+        // A second object without stacks must not disturb the first.
+        r.insert_range(PageNum(8).base(), 8, SiteId(2), PageNum(8), 1);
+        r.mark_freed_traced(base, SiteId(3), &["main".to_string(), "drop_node".to_string()]);
+        let (alloc, free) = r.stacks(base).unwrap();
+        assert_eq!(alloc, ["main", "make_node"]);
+        assert_eq!(free, ["main", "drop_node"]);
+        let (alloc2, free2) = r.stacks(PageNum(8).base()).unwrap();
+        assert!(alloc2.is_empty());
+        assert!(free2.is_empty());
     }
 
     #[test]

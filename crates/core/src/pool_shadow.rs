@@ -19,7 +19,7 @@
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
 use crate::shadow::{merge_run, runs_overlap, BatchConfig, Extent, TRAP_CONTEXT_EVENTS};
 use dangle_heap::{header, AllocError, AllocStats};
-use dangle_telemetry::{EventKind, TrapReport};
+use dangle_telemetry::{Category, EventKind, TrapReport};
 use dangle_pool::{PoolConfig, PoolError, PoolId, PoolSet};
 use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
 use std::collections::HashMap;
@@ -129,6 +129,19 @@ impl ShadowPool {
         size: usize,
         site: SiteId,
     ) -> Result<VirtAddr, PoolError> {
+        machine.span_enter("pool.alloc", Category::DetectorMetadata);
+        let r = self.alloc_at_inner(machine, pool, size, site);
+        machine.span_exit();
+        r
+    }
+
+    fn alloc_at_inner(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        size: usize,
+        site: SiteId,
+    ) -> Result<VirtAddr, PoolError> {
         let total = size
             .checked_add(SHADOW_WORD)
             .ok_or(PoolError::Alloc(AllocError::TooLarge { size }))?;
@@ -156,6 +169,10 @@ impl ShadowPool {
         machine.store_u64(shadow_hidden, canon_page.base().raw())?;
         let user = shadow_hidden.add(SHADOW_WORD as u64);
         self.registry.insert_range(user, size, site, shadow_start, span);
+        if !machine.telemetry().call_stack().is_empty() {
+            let stack = machine.telemetry().call_stack().to_vec();
+            self.registry.note_alloc_stack(&stack);
+        }
         self.live.entry(pool).or_default().insert(user, size);
         self.stats.note_alloc(size);
         Ok(user)
@@ -321,6 +338,13 @@ impl ShadowPool {
         if self.pending_protect.is_empty() {
             return Ok(());
         }
+        machine.span_enter("pool.flush", Category::DetectorMetadata);
+        let r = self.flush_protects_inner(machine);
+        machine.span_exit();
+        r
+    }
+
+    fn flush_protects_inner(&mut self, machine: &mut Machine) -> Result<(), Trap> {
         let runs = std::mem::take(&mut self.pending_protect);
         if let [(base, span)] = runs[..] {
             machine.mprotect(base.base(), span, Protection::None)?;
@@ -362,6 +386,19 @@ impl ShadowPool {
         addr: VirtAddr,
         site: SiteId,
     ) -> Result<(), PoolError> {
+        machine.span_enter("pool.free", Category::DetectorMetadata);
+        let r = self.free_at_inner(machine, pool, addr, site);
+        machine.span_exit();
+        r
+    }
+
+    fn free_at_inner(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolId,
+        addr: VirtAddr,
+        site: SiteId,
+    ) -> Result<(), PoolError> {
         if addr.raw() < SHADOW_WORD as u64 {
             return Err(AllocError::InvalidFree { addr }.into());
         }
@@ -396,7 +433,8 @@ impl ShadowPool {
         }
         machine.telemetry_mut().counter_add("core.pages_protected", span as u64);
         self.pools.free(machine, pool, canon_hidden)?;
-        self.registry.mark_freed(addr, site);
+        let stack = machine.telemetry().call_stack().to_vec();
+        self.registry.mark_freed_traced(addr, site, &stack);
         self.freed
             .entry(pool)
             .or_default()
@@ -461,6 +499,13 @@ impl ShadowPool {
     /// # Errors
     /// As for [`PoolSet::destroy`].
     pub fn destroy(&mut self, machine: &mut Machine, pool: PoolId) -> Result<(), PoolError> {
+        machine.span_enter("pool.destroy", Category::PoolRecycling);
+        let r = self.destroy_inner(machine, pool);
+        machine.span_exit();
+        r
+    }
+
+    fn destroy_inner(&mut self, machine: &mut Machine, pool: PoolId) -> Result<(), PoolError> {
         if self.batch.enabled {
             // Deferred protections must land before the pages they cover
             // can be released and re-mapped to live storage.
@@ -491,7 +536,7 @@ impl ShadowPool {
         use_site: &str,
     ) -> Option<TrapReport> {
         let report = self.explain(trap)?;
-        Some(report.to_telemetry(&self.sites, machine, use_site, TRAP_CONTEXT_EVENTS))
+        Some(report.to_telemetry(&self.sites, machine, use_site, TRAP_CONTEXT_EVENTS, &self.registry))
     }
 
     /// The object record owning `addr`, if tracked (live or freed). Used

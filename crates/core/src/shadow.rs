@@ -26,7 +26,7 @@
 
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
 use dangle_heap::{header, AllocError, AllocStats, Allocator, SysHeap};
-use dangle_telemetry::TrapReport;
+use dangle_telemetry::{Category, TrapReport};
 use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
 use std::collections::HashMap;
 #[cfg(test)]
@@ -244,7 +244,7 @@ impl<A: Allocator> ShadowHeap<A> {
         use_site: &str,
     ) -> Option<TrapReport> {
         let report = self.explain(trap)?;
-        Some(report.to_telemetry(&self.sites, machine, use_site, TRAP_CONTEXT_EVENTS))
+        Some(report.to_telemetry(&self.sites, machine, use_site, TRAP_CONTEXT_EVENTS, &self.registry))
     }
 
     /// The object record owning `addr`, if tracked.
@@ -276,12 +276,27 @@ impl<A: Allocator> ShadowHeap<A> {
         size: usize,
         site: SiteId,
     ) -> Result<VirtAddr, AllocError> {
+        machine.span_enter("shadow.alloc", Category::DetectorMetadata);
+        let r = self.alloc_at_inner(machine, size, site);
+        machine.span_exit();
+        r
+    }
+
+    fn alloc_at_inner(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+        site: SiteId,
+    ) -> Result<VirtAddr, AllocError> {
         if let Some(threshold) = self.config.recycle_threshold_pages {
             if machine.virt_pages_consumed() >= threshold && self.recycled.is_empty() {
                 // Deferred protections must land before their pages can be
                 // recycled and re-aliased to live storage.
-                self.flush_protects(machine)?;
+                machine.span_enter("shadow.recycle", Category::PoolRecycling);
+                let flushed = self.flush_protects(machine);
                 self.recycle_freed_pages();
+                machine.span_exit();
+                flushed?;
             }
         }
         let total = size.checked_add(SHADOW_WORD).ok_or(AllocError::TooLarge { size })?;
@@ -311,6 +326,10 @@ impl<A: Allocator> ShadowHeap<A> {
         machine.store_u64(shadow_hidden, canon_page.base().raw())?;
         let user = shadow_hidden.add(SHADOW_WORD as u64);
         self.registry.insert_range(user, size, site, shadow_base.page(), span);
+        if !machine.telemetry().call_stack().is_empty() {
+            let stack = machine.telemetry().call_stack().to_vec();
+            self.registry.note_alloc_stack(&stack);
+        }
         self.stats.note_alloc(size);
         Ok(user)
     }
@@ -323,6 +342,18 @@ impl<A: Allocator> ShadowHeap<A> {
     /// corresponding report is retrievable via [`ShadowHeap::last_report`].
     /// A wild pointer surfaces as [`AllocError::InvalidFree`].
     pub fn free_at(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        site: SiteId,
+    ) -> Result<(), AllocError> {
+        machine.span_enter("shadow.free", Category::DetectorMetadata);
+        let r = self.free_at_inner(machine, addr, site);
+        machine.span_exit();
+        r
+    }
+
+    fn free_at_inner(
         &mut self,
         machine: &mut Machine,
         addr: VirtAddr,
@@ -364,7 +395,8 @@ impl<A: Allocator> ShadowHeap<A> {
         }
         machine.telemetry_mut().counter_add("core.pages_protected", span as u64);
         self.inner.free(machine, canon_hidden)?;
-        self.registry.mark_freed(addr, site);
+        let stack = machine.telemetry().call_stack().to_vec();
+        self.registry.mark_freed_traced(addr, site, &stack);
         merge_run(&mut self.freed_spans, hidden.page(), span);
         self.stats.note_free(total - SHADOW_WORD);
         Ok(())
@@ -560,6 +592,13 @@ impl<A: Allocator> ShadowHeap<A> {
         if self.pending_protect.is_empty() {
             return Ok(());
         }
+        machine.span_enter("shadow.flush", Category::DetectorMetadata);
+        let r = self.flush_protects_inner(machine);
+        machine.span_exit();
+        r
+    }
+
+    fn flush_protects_inner(&mut self, machine: &mut Machine) -> Result<(), Trap> {
         let runs = std::mem::take(&mut self.pending_protect);
         if let [(base, span)] = runs[..] {
             machine.mprotect(base.base(), span, Protection::None)?;

@@ -31,6 +31,7 @@ pub mod backend;
 pub use backend::{Backend, BackendError, PoolHandle};
 
 use dangle_apa::ast::*;
+use dangle_telemetry::Category;
 use dangle_vmm::{Machine, VirtAddr};
 use std::collections::HashMap;
 use std::error::Error;
@@ -153,9 +154,16 @@ pub fn run(
     };
     let main = prog.func("main").ok_or(RunError::NoMain)?;
     let mut frame = Frame::default();
+    // Shadow call stack: on an abnormal exit (trap, runtime error) the `?`
+    // below skips the pop, deliberately freezing the stack at the faulting
+    // frame so the detector can attach it to the trap report as use_stack.
+    interp.machine.telemetry_mut().push_call("main");
+    interp.machine.span_enter("main", Category::App);
     match interp.exec_block(&main.body, &mut frame)? {
         Flow::Normal | Flow::Returned(_) => {}
     }
+    interp.machine.span_exit();
+    interp.machine.telemetry_mut().pop_call();
     Ok(RunOutcome { output: interp.output, steps_used: interp.steps })
 }
 
@@ -317,7 +325,14 @@ impl Interp<'_, '_, '_> {
                     callee_frame.pools.insert(formal.clone(), h);
                 }
                 let ret_ty = func.ret.clone();
-                match self.exec_block(&func.body, &mut callee_frame)? {
+                // As in `run`, an error path keeps the callee frame on the
+                // shadow stack so the trap report sees the full chain.
+                self.machine.telemetry_mut().push_call(callee);
+                self.machine.span_enter(callee, Category::App);
+                let flow = self.exec_block(&func.body, &mut callee_frame)?;
+                self.machine.span_exit();
+                self.machine.telemetry_mut().pop_call();
+                match flow {
                     Flow::Returned(v) => Ok((v, ret_ty)),
                     Flow::Normal => Ok((0, ret_ty)),
                 }

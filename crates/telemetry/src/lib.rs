@@ -29,6 +29,7 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod ring;
+pub mod span;
 
 pub use artifact::Artifact;
 pub use json::{Json, JsonError};
@@ -38,6 +39,7 @@ pub use metrics::{
 };
 pub use report::TrapReport;
 pub use ring::{Event, EventKind, EventRing};
+pub use span::{Category, Charge, SpanId, SpanTracer};
 
 /// Construction-time knobs for a [`Telemetry`] instance.
 ///
@@ -50,18 +52,29 @@ pub struct TelemetryConfig {
     pub enabled: bool,
     /// Capacity of the event ring (events kept for trap context).
     pub ring_capacity: usize,
+    /// Span tracing + cycle attribution (the flight recorder). Off by
+    /// default: tracing is host-side bookkeeping only — it charges zero
+    /// *simulated* cycles either way, so enabling it never perturbs the
+    /// paper's tables — but the aggregation work is real host time, so
+    /// production-shaped runs leave it off.
+    pub tracing: bool,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        TelemetryConfig { enabled: true, ring_capacity: 256 }
+        TelemetryConfig { enabled: true, ring_capacity: 256, tracing: false }
     }
 }
 
 impl TelemetryConfig {
     /// A configuration with everything off — the no-op sink.
     pub fn disabled() -> Self {
-        TelemetryConfig { enabled: false, ring_capacity: 0 }
+        TelemetryConfig { enabled: false, ring_capacity: 0, tracing: false }
+    }
+
+    /// The default configuration with the flight recorder on.
+    pub fn traced() -> Self {
+        TelemetryConfig { tracing: true, ..TelemetryConfig::default() }
     }
 }
 
@@ -73,6 +86,12 @@ pub struct Telemetry {
     config: TelemetryConfig,
     ring: EventRing,
     metrics: MetricsRegistry,
+    /// The flight recorder; `Some` only when `config.tracing`.
+    tracer: Option<SpanTracer>,
+    /// Shadow call stack maintained by the MiniC interpreter (function
+    /// names, outermost first). Feeds alloc/free/use provenance in
+    /// [`TrapReport`]s; always on when the sink is enabled.
+    calls: Vec<String>,
 }
 
 impl Default for Telemetry {
@@ -86,12 +105,73 @@ impl Telemetry {
     /// allocates).
     pub fn new(config: TelemetryConfig) -> Self {
         let cap = if config.enabled { config.ring_capacity } else { 0 };
-        Telemetry { config, ring: EventRing::new(cap), metrics: MetricsRegistry::new() }
+        let tracer = if config.enabled && config.tracing { Some(SpanTracer::new()) } else { None };
+        Telemetry {
+            config,
+            ring: EventRing::new(cap),
+            metrics: MetricsRegistry::new(),
+            tracer,
+            calls: Vec::new(),
+        }
     }
 
     /// Is the sink live?
     pub fn enabled(&self) -> bool {
         self.config.enabled
+    }
+
+    /// Is the flight recorder live?
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The flight recorder's read side, when tracing.
+    pub fn tracer(&self) -> Option<&SpanTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Enters a span at simulated time `clock`. One branch when tracing
+    /// is off.
+    pub fn span_enter(&mut self, name: &str, category: Category, clock: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.enter(name, category, clock);
+        }
+    }
+
+    /// Exits the innermost span, returning its inclusive duration in
+    /// simulated cycles (`None` when tracing is off).
+    pub fn span_exit(&mut self, clock: u64) -> Option<u64> {
+        self.tracer.as_mut().map(|t| t.exit(clock))
+    }
+
+    /// Folds `cycles` into the live span and the attribution table. The
+    /// simulator's clock funnel calls this on every advance.
+    pub fn charge(&mut self, cycles: u64, charge: Charge) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.charge(cycles, charge);
+        }
+    }
+
+    /// Pushes a function name onto the shadow call stack (the MiniC
+    /// interpreter calls this on entry to every function).
+    pub fn push_call(&mut self, name: &str) {
+        if !self.config.enabled {
+            return;
+        }
+        self.calls.push(name.to_string());
+    }
+
+    /// Pops the shadow call stack (interpreter function exit).
+    pub fn pop_call(&mut self) {
+        if !self.config.enabled {
+            return;
+        }
+        self.calls.pop();
+    }
+
+    /// The current shadow call stack, outermost first.
+    pub fn call_stack(&self) -> &[String] {
+        &self.calls
     }
 
     /// Records one event at simulated time `clock`, and bumps the
@@ -149,6 +229,20 @@ impl Telemetry {
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
+
+    /// Zeroes every counter and histogram (keeping registered handles
+    /// valid), empties the event ring, unwinds the flight recorder, and
+    /// clears the shadow call stack — a clean slate between benchmark
+    /// configurations sharing one sink.
+    pub fn reset_for_run(&mut self) {
+        self.metrics.reset_for_run();
+        let cap = if self.config.enabled { self.config.ring_capacity } else { 0 };
+        self.ring = EventRing::new(cap);
+        if let Some(t) = self.tracer.as_mut() {
+            t.reset();
+        }
+        self.calls.clear();
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +259,55 @@ mod tests {
         assert_eq!(t.ring().len(), 0);
         assert_eq!(t.counter("x"), 0);
         assert!(t.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn tracing_is_off_by_default_and_wires_through() {
+        let mut t = Telemetry::default();
+        assert!(!t.tracing());
+        assert!(t.span_exit(10).is_none());
+        t.charge(5, Charge::Plain); // no-op, must not panic
+
+        let mut traced = Telemetry::new(TelemetryConfig::traced());
+        assert!(traced.tracing());
+        traced.span_enter("req", Category::App, 0);
+        traced.charge(7, Charge::Plain);
+        assert_eq!(traced.span_exit(7), Some(7));
+        assert_eq!(traced.tracer().unwrap().total(), 7);
+    }
+
+    #[test]
+    fn call_stack_tracks_push_pop() {
+        let mut t = Telemetry::default();
+        t.push_call("main");
+        t.push_call("handler");
+        assert_eq!(t.call_stack(), ["main", "handler"]);
+        t.pop_call();
+        assert_eq!(t.call_stack(), ["main"]);
+
+        let mut off = Telemetry::new(TelemetryConfig::disabled());
+        off.push_call("main");
+        assert!(off.call_stack().is_empty());
+    }
+
+    #[test]
+    fn reset_for_run_clears_state_keeping_config() {
+        let mut t = Telemetry::new(TelemetryConfig::traced());
+        t.record(5, 0x40, EventKind::Trap);
+        t.counter_add("x", 3);
+        t.observe("h", 9);
+        t.push_call("main");
+        t.span_enter("req", Category::App, 0);
+        t.charge(4, Charge::Plain);
+        t.reset_for_run();
+        assert_eq!(t.counter("x"), 0);
+        assert_eq!(t.ring().len(), 0);
+        assert!(t.call_stack().is_empty());
+        assert_eq!(t.tracer().unwrap().total(), 0);
+        // Handles registered before the reset still resolve.
+        assert_eq!(t.counter("event.trap"), 0);
+        t.counter_add("x", 2);
+        assert_eq!(t.counter("x"), 2);
     }
 
     #[test]

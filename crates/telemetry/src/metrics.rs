@@ -94,6 +94,29 @@ impl Histogram {
             .map(|(i, c)| (1u64 << i, *c))
             .collect()
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), resolved to the floor of the
+    /// log₂ bucket containing it — the histogram's resolution limit. 0
+    /// when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return 1u64 << i;
+            }
+        }
+        self.max
+    }
+
+    /// Zeroes the histogram in place.
+    pub fn reset(&mut self) {
+        *self = Histogram::default();
+    }
 }
 
 /// Point-in-time copy of one histogram, as exported to JSON.
@@ -109,6 +132,12 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest observation.
     pub max: u64,
+    /// Median, at log₂-bucket resolution (see [`Histogram::percentile`]).
+    pub p50: u64,
+    /// 99th percentile, at log₂-bucket resolution.
+    pub p99: u64,
+    /// 99.9th percentile, at log₂-bucket resolution.
+    pub p999: u64,
     /// Non-empty `(bucket_floor, count)` pairs.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -129,13 +158,19 @@ impl MetricsSnapshot {
     }
 
     /// Serializes the snapshot as `{ "counters": {..}, "histograms": [..] }`.
+    ///
+    /// Series are emitted sorted by name, not in registration order:
+    /// different configurations touch counters in different orders, and
+    /// artifact diffing needs byte-stable key emission across them.
     pub fn to_json(&self) -> crate::Json {
         use crate::Json;
-        let counters =
+        let mut counters: Vec<_> =
             self.counters.iter().map(|(n, v)| (n.clone(), Json::from_u64(*v))).collect();
-        let histograms = self
-            .histograms
-            .iter()
+        counters.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut by_name: Vec<_> = self.histograms.iter().collect();
+        by_name.sort_by(|a, b| a.name.cmp(&b.name));
+        let histograms = by_name
+            .into_iter()
             .map(|h| {
                 Json::Obj(vec![
                     ("name".into(), Json::Str(h.name.clone())),
@@ -143,6 +178,9 @@ impl MetricsSnapshot {
                     ("sum".into(), Json::from_u64(h.sum)),
                     ("min".into(), Json::from_u64(h.min)),
                     ("max".into(), Json::from_u64(h.max)),
+                    ("p50".into(), Json::from_u64(h.p50)),
+                    ("p99".into(), Json::from_u64(h.p99)),
+                    ("p999".into(), Json::from_u64(h.p999)),
                     (
                         "buckets".into(),
                         Json::Arr(
@@ -240,9 +278,24 @@ impl MetricsRegistry {
                     sum: h.sum(),
                     min: h.min(),
                     max: h.max(),
+                    p50: h.percentile(0.50),
+                    p99: h.percentile(0.99),
+                    p999: h.percentile(0.999),
                     buckets: h.nonzero_buckets(),
                 })
                 .collect(),
+        }
+    }
+
+    /// Zeroes every counter and histogram **in place**: registered names
+    /// keep their slots, so [`CounterHandle`]s and [`HistogramHandle`]s
+    /// held by callers stay valid across benchmark configurations.
+    pub fn reset_for_run(&mut self) {
+        for (_, v) in &mut self.counters {
+            *v = 0;
+        }
+        for (_, h) in &mut self.histograms {
+            h.reset();
         }
     }
 }
@@ -300,6 +353,41 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_resolve_to_bucket_floors() {
+        let mut h = Histogram::default();
+        // 99 small observations and one huge outlier.
+        for _ in 0..99 {
+            h.observe(100); // bucket 6 (floor 64)
+        }
+        h.observe(1_000_000); // bucket 19 (floor 524288)
+        assert_eq!(h.percentile(0.50), 64);
+        assert_eq!(h.percentile(0.99), 64);
+        assert_eq!(h.percentile(0.999), 524_288);
+        assert_eq!(h.percentile(1.0), 524_288);
+    }
+
+    #[test]
+    fn reset_for_run_zeroes_but_keeps_handles() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter_handle("syscalls");
+        let h = r.histogram_handle("lat");
+        r.add(c, 41);
+        r.observe(h, 9);
+        r.reset_for_run();
+        assert_eq!(r.counter_value("syscalls"), 0);
+        assert_eq!(r.histogram("lat").unwrap().count(), 0);
+        // The pre-reset handles still address the same series.
+        r.add(c, 2);
+        r.observe(h, 3);
+        assert_eq!(r.counter_value("syscalls"), 2);
+        assert_eq!(r.histogram("lat").unwrap().count(), 1);
+        // No duplicate registration happened.
+        assert_eq!(r.counter_handle("syscalls"), c);
+        assert_eq!(r.histogram_handle("lat"), h);
     }
 
     #[test]
@@ -326,5 +414,20 @@ mod tests {
         let text = j.to_string();
         assert!(text.contains("\"vmm.mmap\":7"));
         assert!(text.contains("\"alloc.bytes\""));
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_regardless_of_registration_order() {
+        let mut a = MetricsRegistry::new();
+        a.add_named("zeta", 1);
+        a.add_named("alpha", 2);
+        a.observe_named("h.z", 5);
+        a.observe_named("h.a", 5);
+        let mut b = MetricsRegistry::new();
+        b.add_named("alpha", 2);
+        b.add_named("zeta", 1);
+        b.observe_named("h.a", 5);
+        b.observe_named("h.z", 5);
+        assert_eq!(a.snapshot().to_json().to_string(), b.snapshot().to_json().to_string());
     }
 }

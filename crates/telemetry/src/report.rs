@@ -23,11 +23,25 @@ pub struct TrapReport {
     pub object_size: u64,
     /// Resolved allocation-site name (e.g. `"handle_request:malloc"`).
     pub alloc_site: String,
+    /// Full call stack at allocation time (outermost first), when the
+    /// program ran under the MiniC interpreter's shadow call stack.
+    pub alloc_stack: Vec<String>,
     /// Resolved free-site name; `None` if the object was still live
     /// (spatial faults) or the site was unknown.
     pub free_site: Option<String>,
+    /// Full call stack at free time (outermost first), when available.
+    pub free_stack: Vec<String>,
     /// Where the faulting access happened (caller-supplied label).
     pub use_site: String,
+    /// Full call stack at the faulting use (outermost first), when
+    /// available.
+    pub use_stack: Vec<String>,
+    /// Event-ring capacity at trap time — how much context *could* be
+    /// held.
+    pub ring_capacity: u64,
+    /// Events the ring had overwritten by trap time; nonzero means
+    /// `events` is a truncated window, not the full history.
+    pub ring_dropped: u64,
     /// The last events recorded before the trap, oldest first.
     pub events: Vec<Event>,
 }
@@ -52,6 +66,14 @@ fn event_from_json(j: &Json) -> Option<Event> {
     Some(Event { clock: j.get("clock")?.as_u64()?, addr: j.get("addr")?.as_u64()?, kind })
 }
 
+fn stack_to_json(stack: &[String]) -> Json {
+    Json::Arr(stack.iter().map(|f| Json::Str(f.clone())).collect())
+}
+
+fn stack_from_json(j: &Json) -> Option<Vec<String>> {
+    j.as_arr()?.iter().map(|f| f.as_str().map(str::to_string)).collect()
+}
+
 impl TrapReport {
     /// Serializes the report. Stable key order; `free_site` is `null` when
     /// absent so consumers see a fixed schema.
@@ -68,6 +90,7 @@ impl TrapReport {
                 ]),
             ),
             ("alloc_site".into(), Json::Str(self.alloc_site.clone())),
+            ("alloc_stack".into(), stack_to_json(&self.alloc_stack)),
             (
                 "free_site".into(),
                 match &self.free_site {
@@ -75,7 +98,16 @@ impl TrapReport {
                     None => Json::Null,
                 },
             ),
+            ("free_stack".into(), stack_to_json(&self.free_stack)),
             ("use_site".into(), Json::Str(self.use_site.clone())),
+            ("use_stack".into(), stack_to_json(&self.use_stack)),
+            (
+                "ring".into(),
+                Json::Obj(vec![
+                    ("capacity".into(), Json::from_u64(self.ring_capacity)),
+                    ("dropped".into(), Json::from_u64(self.ring_dropped)),
+                ]),
+            ),
             ("events".into(), Json::Arr(self.events.iter().map(event_to_json).collect())),
         ])
     }
@@ -84,6 +116,7 @@ impl TrapReport {
     /// on any schema mismatch.
     pub fn from_json(j: &Json) -> Option<TrapReport> {
         let object = j.get("object")?;
+        let ring = j.get("ring")?;
         let events = j
             .get("events")?
             .as_arr()?
@@ -97,13 +130,64 @@ impl TrapReport {
             object_base: object.get("base")?.as_u64()?,
             object_size: object.get("size")?.as_u64()?,
             alloc_site: j.get("alloc_site")?.as_str()?.to_string(),
+            alloc_stack: stack_from_json(j.get("alloc_stack")?)?,
             free_site: match j.get("free_site")? {
                 Json::Null => None,
                 other => Some(other.as_str()?.to_string()),
             },
+            free_stack: stack_from_json(j.get("free_stack")?)?,
             use_site: j.get("use_site")?.as_str()?.to_string(),
+            use_stack: stack_from_json(j.get("use_stack")?)?,
+            ring_capacity: ring.get("capacity")?.as_u64()?,
+            ring_dropped: ring.get("dropped")?.as_u64()?,
             events,
         })
+    }
+
+    /// Renders the report GWP-ASan-style: fault header, then the use,
+    /// allocation and deallocation stacks as numbered frames.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "*** {} at 0x{:x} (clock {}) ***\n",
+            self.kind, self.fault_addr, self.clock
+        ));
+        out.push_str(&format!(
+            "object: base 0x{:x} size {}\n",
+            self.object_base, self.object_size
+        ));
+        Self::render_stack(&mut out, &format!("used at {}", self.use_site), &self.use_stack);
+        Self::render_stack(
+            &mut out,
+            &format!("allocated at {}", self.alloc_site),
+            &self.alloc_stack,
+        );
+        match &self.free_site {
+            Some(site) => {
+                Self::render_stack(&mut out, &format!("freed at {site}"), &self.free_stack)
+            }
+            None => out.push_str("not freed (object still live)\n"),
+        }
+        if self.ring_dropped > 0 {
+            out.push_str(&format!(
+                "event context truncated: {} earlier events overwritten (ring capacity {})\n",
+                self.ring_dropped, self.ring_capacity
+            ));
+        }
+        out
+    }
+
+    fn render_stack(out: &mut String, header: &str, stack: &[String]) {
+        out.push_str(header);
+        out.push_str(":\n");
+        if stack.is_empty() {
+            out.push_str("  (no call stack recorded)\n");
+            return;
+        }
+        // Innermost frame first, GWP-ASan style.
+        for (i, frame) in stack.iter().rev().enumerate() {
+            out.push_str(&format!("  #{i} {frame}\n"));
+        }
     }
 }
 
@@ -119,8 +203,13 @@ mod tests {
             object_base: 0x7040,
             object_size: 48,
             alloc_site: "handle_request:malloc".into(),
+            alloc_stack: vec!["main".into(), "serve".into(), "handle_request".into()],
             free_site: Some("close_connection:free".into()),
+            free_stack: vec!["main".into(), "close_connection".into()],
             use_site: "store @ event loop".into(),
+            use_stack: vec!["main".into(), "event_loop".into()],
+            ring_capacity: 256,
+            ring_dropped: 3,
             events: vec![
                 Event { clock: 100, addr: 0x7000, kind: EventKind::Alloc { bytes: 48 } },
                 Event { clock: 200, addr: 0x7000, kind: EventKind::Mprotect { pages: 1 } },
@@ -141,6 +230,7 @@ mod tests {
     fn missing_free_site_serializes_as_null() {
         let mut r = sample();
         r.free_site = None;
+        r.free_stack = Vec::new();
         let j = r.to_json();
         assert_eq!(j.get("free_site"), Some(&Json::Null));
         assert_eq!(TrapReport::from_json(&j).unwrap(), r);
@@ -151,5 +241,67 @@ mod tests {
         assert!(TrapReport::from_json(&Json::Null).is_none());
         let j = Json::parse("{\"kind\": \"dangling read\"}").unwrap();
         assert!(TrapReport::from_json(&j).is_none());
+        // A report missing only the new provenance fields is also invalid:
+        // the schema is all-or-nothing.
+        let mut pruned = sample().to_json();
+        if let Json::Obj(pairs) = &mut pruned {
+            pairs.retain(|(k, _)| k != "alloc_stack");
+        }
+        assert!(TrapReport::from_json(&pruned).is_none());
+    }
+
+    /// Pinned serialized form: any schema change (key rename, reorder,
+    /// type change) fails here and must be deliberate.
+    #[test]
+    fn golden_json_schema_is_pinned() {
+        let r = TrapReport {
+            kind: "dangling read".into(),
+            fault_addr: 64,
+            clock: 9,
+            object_base: 64,
+            object_size: 8,
+            alloc_site: "a".into(),
+            alloc_stack: vec!["main".into(), "f".into()],
+            free_site: Some("b".into()),
+            free_stack: vec!["main".into(), "g".into()],
+            use_site: "c".into(),
+            use_stack: vec!["main".into()],
+            ring_capacity: 4,
+            ring_dropped: 1,
+            events: vec![Event { clock: 9, addr: 64, kind: EventKind::Trap }],
+        };
+        let golden = concat!(
+            "{\"kind\":\"dangling read\",\"fault_addr\":64,\"clock\":9,",
+            "\"object\":{\"base\":64,\"size\":8},",
+            "\"alloc_site\":\"a\",\"alloc_stack\":[\"main\",\"f\"],",
+            "\"free_site\":\"b\",\"free_stack\":[\"main\",\"g\"],",
+            "\"use_site\":\"c\",\"use_stack\":[\"main\"],",
+            "\"ring\":{\"capacity\":4,\"dropped\":1},",
+            "\"events\":[{\"clock\":9,\"addr\":64,\"kind\":\"trap\"}]}"
+        );
+        assert_eq!(r.to_json().to_string(), golden);
+        let back = TrapReport::from_json(&Json::parse(golden).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn render_is_gwp_asan_shaped() {
+        let text = sample().render();
+        assert!(text.contains("*** dangling write at 0x7040 (clock 123456) ***"));
+        assert!(text.contains("allocated at handle_request:malloc:"));
+        assert!(text.contains("#0 handle_request"), "innermost frame first");
+        assert!(text.contains("#2 main"));
+        assert!(text.contains("freed at close_connection:free:"));
+        assert!(text.contains("used at store @ event loop:"));
+        assert!(text.contains("3 earlier events overwritten (ring capacity 256)"));
+
+        let mut live = sample();
+        live.free_site = None;
+        live.use_stack = Vec::new();
+        live.ring_dropped = 0;
+        let text = live.render();
+        assert!(text.contains("not freed (object still live)"));
+        assert!(text.contains("(no call stack recorded)"));
+        assert!(!text.contains("overwritten"));
     }
 }

@@ -205,6 +205,13 @@ impl EventRing {
         self.recorded
     }
 
+    /// Events lost to overwriting (or to a zero-capacity ring never
+    /// storing anything): pushes that are no longer retrievable. Nonzero
+    /// means a trap's event context is truncated.
+    pub fn dropped(&self) -> u64 {
+        self.recorded.saturating_sub(self.buf.len() as u64)
+    }
+
     /// Iterates oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
         let split = if self.buf.len() == self.capacity { self.head } else { 0 };
@@ -237,6 +244,7 @@ mod tests {
         assert_eq!(r.len(), 4);
         assert_eq!(r.capacity(), 4);
         assert_eq!(r.total_recorded(), 10);
+        assert_eq!(r.dropped(), 6, "overwritten events are counted");
         let clocks: Vec<u64> = r.iter().map(|e| e.clock).collect();
         assert_eq!(clocks, vec![6, 7, 8, 9], "oldest→newest after wraparound");
     }
@@ -271,6 +279,7 @@ mod tests {
         r.push(ev(1));
         assert!(r.is_empty());
         assert_eq!(r.total_recorded(), 0);
+        assert_eq!(r.dropped(), 0);
         assert!(r.tail(4).is_empty());
     }
 

@@ -26,7 +26,9 @@ use crate::pagetable::{Entry, PageTable, PageTableImpl};
 use crate::stats::MachineStats;
 use crate::tlb::{Tlb, TlbConfig};
 use crate::trap::Trap;
-use dangle_telemetry::{EventKind, MetricsSnapshot, Telemetry, TelemetryConfig};
+use dangle_telemetry::{
+    Category, Charge, EventKind, MetricsSnapshot, Telemetry, TelemetryConfig,
+};
 
 /// Per-page protection bits, as set by [`Machine::mprotect`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -156,6 +158,9 @@ pub struct Machine {
     clock: u64,
     stats: MachineStats,
     telemetry: Telemetry,
+    /// Cached `telemetry.tracing()`: every clock advance branches on this,
+    /// so it must not chase through the sink.
+    trace: bool,
 }
 
 impl Default for Machine {
@@ -187,6 +192,7 @@ impl Machine {
             clock: 0,
             stats: MachineStats::default(),
             telemetry: Telemetry::new(config.telemetry),
+            trace: config.telemetry.enabled && config.telemetry.tracing,
         }
     }
 
@@ -205,9 +211,46 @@ impl Machine {
         self.clock
     }
 
+    /// The single clock funnel: **every** simulated-cycle charge in the
+    /// machine routes through here, so the flight recorder's attribution
+    /// table sums to the clock exactly (±0). Tracing never adds simulated
+    /// cycles — the charge call is host-side bookkeeping only.
+    #[inline]
+    fn advance(&mut self, cycles: u64, charge: Charge) {
+        self.clock += cycles;
+        if self.trace {
+            self.telemetry.charge(cycles, charge);
+        }
+    }
+
     /// Advances the clock by `cycles` of modelled computation.
     pub fn tick(&mut self, cycles: u64) {
-        self.clock += cycles;
+        self.advance(cycles, Charge::Plain);
+    }
+
+    /// Is the flight recorder (span tracing + cycle attribution) live?
+    pub fn tracing(&self) -> bool {
+        self.trace
+    }
+
+    /// Enters a flight-recorder span at the current simulated clock. One
+    /// branch when tracing is off.
+    pub fn span_enter(&mut self, name: &str, category: Category) {
+        if self.trace {
+            let clock = self.clock;
+            self.telemetry.span_enter(name, category, clock);
+        }
+    }
+
+    /// Exits the innermost flight-recorder span, returning its inclusive
+    /// duration in simulated cycles (`None` when tracing is off).
+    pub fn span_exit(&mut self) -> Option<u64> {
+        if self.trace {
+            let clock = self.clock;
+            self.telemetry.span_exit(clock)
+        } else {
+            None
+        }
     }
 
     /// Event counters.
@@ -270,6 +313,17 @@ impl Machine {
         for (name, value) in derived {
             snap.counters.push((name.to_string(), value));
         }
+        // Ring health: capacity plus events lost to overwriting, so
+        // truncated trap context is detectable from any snapshot.
+        let ring = self.telemetry.ring();
+        snap.counters.push(("ring.capacity".to_string(), ring.capacity() as u64));
+        snap.counters.push(("ring.dropped".to_string(), ring.dropped()));
+        // Flight-recorder attribution table (present only when tracing).
+        if let Some(tracer) = self.telemetry.tracer() {
+            for (name, cycles) in tracer.categories() {
+                snap.counters.push((format!("trace.{name}"), cycles));
+            }
+        }
         snap
     }
 
@@ -303,7 +357,7 @@ impl Machine {
         self.stats.phys_frames_in_use += 1;
         self.stats.phys_frames_peak =
             self.stats.phys_frames_peak.max(self.stats.phys_frames_in_use);
-        self.clock += self.config.cost.page_zero;
+        self.advance(self.config.cost.page_zero, Charge::Syscall);
     }
 
     fn incref_frame(&mut self, idx: u32) {
@@ -356,15 +410,17 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn charge_syscall(&mut self, base: u64, pages: usize) {
-        self.clock += base + self.config.cost.syscall_per_page * pages as u64;
+        self.advance(base + self.config.cost.syscall_per_page * pages as u64, Charge::Syscall);
     }
 
     /// One vectored kernel crossing: a single base charge, plus per-range
     /// argument/VMA work and the usual per-page PTE work.
     fn charge_batch_syscall(&mut self, base: u64, ranges: usize, pages: usize) {
-        self.clock += base
-            + self.config.cost.syscall_per_range * ranges as u64
-            + self.config.cost.syscall_per_page * pages as u64;
+        self.advance(
+            base + self.config.cost.syscall_per_range * ranges as u64
+                + self.config.cost.syscall_per_page * pages as u64,
+            Charge::Syscall,
+        );
     }
 
     /// Validates the destination ranges of a vectored syscall: every range
@@ -830,7 +886,7 @@ impl Machine {
     /// isolate the system-call share of the overhead.
     pub fn dummy_syscall(&mut self) {
         self.stats.dummy_calls += 1;
-        self.clock += self.config.cost.syscall_dummy;
+        self.advance(self.config.cost.syscall_dummy, Charge::Syscall);
         self.note_event(VirtAddr::NULL, EventKind::DummySyscall);
     }
 
@@ -880,7 +936,7 @@ impl Machine {
         access: AccessKind,
     ) -> Result<(u32, usize), Trap> {
         debug_assert!(addr.offset() + len <= PAGE_SIZE, "access crosses page");
-        self.clock += self.config.cost.mem_access;
+        self.advance(self.config.cost.mem_access, Charge::Plain);
         match access {
             AccessKind::Read => self.stats.loads += 1,
             AccessKind::Write => self.stats.stores += 1,
@@ -890,7 +946,7 @@ impl Machine {
         // the last-translation cache below only short-circuits the host
         // page-table walk, never the simulated one.
         if !self.tlb.access(vpn) {
-            self.clock += self.config.cost.tlb_miss;
+            self.advance(self.config.cost.tlb_miss, Charge::TlbPenalty);
         }
         let pte = if self.ltc_vpn == vpn {
             self.ltc_entry
@@ -917,7 +973,7 @@ impl Machine {
         }
         let paddr = (pte.frame as u64) << PAGE_SHIFT | addr.offset() as u64;
         if !self.cache.access(paddr) {
-            self.clock += self.config.cost.l1_miss;
+            self.advance(self.config.cost.l1_miss, Charge::TlbPenalty);
         }
         Ok((pte.frame, addr.offset()))
     }
@@ -1024,7 +1080,7 @@ impl Machine {
             let (frame, off) = self.translate(a, chunk, AccessKind::Read)?;
             // Charge the remaining words of the chunk beyond the first.
             let words = chunk.div_ceil(8) as u64;
-            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.advance(self.config.cost.mem_access * words.saturating_sub(1), Charge::Plain);
             self.stats.loads += words.saturating_sub(1);
             buf[pos..pos + chunk].copy_from_slice(&self.slab.frame(frame)[off..off + chunk]);
             pos += chunk;
@@ -1045,7 +1101,7 @@ impl Machine {
             let chunk = (PAGE_SIZE - a.offset()).min(buf.len() - pos);
             let (frame, off) = self.translate(a, chunk, AccessKind::Write)?;
             let words = chunk.div_ceil(8) as u64;
-            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.advance(self.config.cost.mem_access * words.saturating_sub(1), Charge::Plain);
             self.stats.stores += words.saturating_sub(1);
             self.slab.frame_mut(frame)[off..off + chunk].copy_from_slice(&buf[pos..pos + chunk]);
             pos += chunk;
@@ -1064,7 +1120,7 @@ impl Machine {
             let chunk = (PAGE_SIZE - a.offset()).min(len - pos);
             let (frame, off) = self.translate(a, chunk, AccessKind::Write)?;
             let words = chunk.div_ceil(8) as u64;
-            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.advance(self.config.cost.mem_access * words.saturating_sub(1), Charge::Plain);
             self.stats.stores += words.saturating_sub(1);
             self.slab.frame_mut(frame)[off..off + chunk].fill(byte);
             pos += chunk;
@@ -1101,11 +1157,11 @@ impl Machine {
                 (PAGE_SIZE - s.offset()).min(PAGE_SIZE - d.offset()).min(len - pos);
             let words = chunk.div_ceil(8) as u64;
             let (sf, so) = self.translate(s, chunk, AccessKind::Read)?;
-            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.advance(self.config.cost.mem_access * words.saturating_sub(1), Charge::Plain);
             self.stats.loads += words.saturating_sub(1);
             buf[..chunk].copy_from_slice(&self.slab.frame(sf)[so..so + chunk]);
             let (df, doff) = self.translate(d, chunk, AccessKind::Write)?;
-            self.clock += self.config.cost.mem_access * words.saturating_sub(1);
+            self.advance(self.config.cost.mem_access * words.saturating_sub(1), Charge::Plain);
             self.stats.stores += words.saturating_sub(1);
             self.slab.frame_mut(df)[doff..doff + chunk].copy_from_slice(&buf[..chunk]);
             pos += chunk;
@@ -1140,6 +1196,48 @@ mod tests {
             m.store(a, w, v).unwrap();
             assert_eq!(m.load(a, w).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn attribution_sums_to_clock_and_tracing_is_cycle_neutral() {
+        use dangle_telemetry::TelemetryConfig;
+        let run = |tracing: bool| {
+            let telemetry =
+                if tracing { TelemetryConfig::traced() } else { TelemetryConfig::default() };
+            let mut m =
+                Machine::with_config(MachineConfig { telemetry, ..MachineConfig::default() });
+            m.tick(123);
+            let a = m.mmap(2).unwrap();
+            m.span_enter("request", Category::App);
+            for i in 0..64u64 {
+                m.store_u64(a.add(i * 8), i).unwrap();
+                m.load_u64(a.add(i * 8)).unwrap();
+            }
+            m.span_enter("shadow.free", Category::DetectorMetadata);
+            m.mprotect(a, 1, Protection::None).unwrap();
+            m.span_exit();
+            m.span_exit();
+            m.dummy_syscall();
+            m
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(on.clock(), off.clock(), "tracing must not change simulated time");
+        let tracer = on.telemetry().tracer().unwrap();
+        assert_eq!(tracer.total(), on.clock(), "every cycle attributed, ±0");
+        let by_cat: u64 = tracer.categories().iter().map(|&(_, v)| v).sum();
+        assert_eq!(by_cat, on.clock());
+        assert!(tracer.category_cycles(Category::ProtectionSyscalls) > 0);
+        assert!(tracer.category_cycles(Category::App) > 0);
+        assert!(off.telemetry().tracer().is_none());
+        // The snapshot carries the table (and ring health) as gauges.
+        let snap = on.metrics_snapshot();
+        let traced_total: u64 = ["app", "detector_metadata", "protection_syscalls", "tlb_l1_penalty", "pool_recycling"]
+            .iter()
+            .map(|c| snap.counter(&format!("trace.{c}")))
+            .sum();
+        assert_eq!(traced_total, on.clock());
+        assert_eq!(snap.counter("ring.capacity"), 256);
     }
 
     #[test]

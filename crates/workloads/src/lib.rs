@@ -34,7 +34,13 @@ pub mod servers;
 pub mod stream;
 
 use dangle_interp::backend::{Backend, BackendError, PoolHandle};
+use dangle_telemetry::Category;
 use dangle_vmm::{Machine, VirtAddr};
+
+/// Name of the per-request latency histogram fed by
+/// [`Ctx::request_exit`]. Only populated when the flight recorder is on,
+/// so Tables 1–3 snapshots are unaffected by default.
+pub const REQUEST_HISTOGRAM: &str = "request.cycles";
 
 /// Result alias used throughout the workloads.
 pub type WResult<T> = Result<T, BackendError>;
@@ -184,6 +190,27 @@ impl<'m, 'b> Ctx<'m, 'b> {
     /// software — pays anything extra here.
     pub fn io_wait(&mut self, cycles: u64) {
         self.machine.tick(cycles);
+    }
+
+    /// Opens an application-level flight-recorder span (one connection,
+    /// request, command...). One branch when tracing is off.
+    pub fn span_enter(&mut self, name: &str) {
+        self.machine.span_enter(name, Category::App);
+    }
+
+    /// Closes the innermost span without latency accounting (connection
+    /// and session scopes).
+    pub fn span_exit(&mut self) {
+        self.machine.span_exit();
+    }
+
+    /// Closes the innermost span and folds its inclusive duration into the
+    /// [`REQUEST_HISTOGRAM`] latency histogram — the per-request series
+    /// behind the snapshot's p50/p99/p999.
+    pub fn request_exit(&mut self) {
+        if let Some(cycles) = self.machine.span_exit() {
+            self.machine.telemetry_mut().observe(REQUEST_HISTOGRAM, cycles);
+        }
     }
 }
 

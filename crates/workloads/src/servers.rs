@@ -78,6 +78,7 @@ impl Workload for Ghttpd {
         let mut ctx = Ctx::new(machine, backend);
         let mut acc = 0u64;
         for conn in 0..self.connections {
+            ctx.span_enter("ghttpd.conn");
             // fork(): the connection's pool scope.
             let pool = ctx.pool_create(0)?;
             // The single allocation: the request/response buffer.
@@ -85,6 +86,61 @@ impl Workload for Ghttpd {
             acc = mix(acc, serve_buffer(&mut ctx, buf, self.response_bytes, 1460, conn as u64)?);
             // exit(): everything is reclaimed.
             ctx.pool_destroy(pool)?;
+            ctx.request_exit();
+        }
+        Ok(acc)
+    }
+}
+
+/// The keep-alive variant of [`Ghttpd`]: one pool per connection, many
+/// requests per connection, each allocating a header and a response buffer
+/// that live until the connection's pool dies wholesale. No individual
+/// frees — the allocation-side pattern shadow extents are built for, and
+/// the §4.3 server shape (few allocations, pool-scoped lifetimes) taken to
+/// the keep-alive limit.
+#[derive(Clone, Copy, Debug)]
+pub struct GhttpdKeepAlive {
+    /// Connections served.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests_per_connection: usize,
+    /// Bytes per response body.
+    pub response_bytes: usize,
+}
+
+impl Default for GhttpdKeepAlive {
+    fn default() -> GhttpdKeepAlive {
+        GhttpdKeepAlive { connections: 16, requests_per_connection: 96, response_bytes: 8_000 }
+    }
+}
+
+impl Workload for GhttpdKeepAlive {
+    fn name(&self) -> &'static str {
+        "ghttpd-keepalive"
+    }
+
+    fn run(&self, machine: &mut Machine, backend: &mut dyn Backend) -> WResult<u64> {
+        let mut ctx = Ctx::new(machine, backend);
+        let mut acc = 0u64;
+        for conn in 0..self.connections {
+            ctx.span_enter("ghttpd-keepalive.conn");
+            let pool = ctx.pool_create(0)?;
+            for req in 0..self.requests_per_connection {
+                ctx.span_enter("ghttpd-keepalive.req");
+                let seed = (conn * 8191 + req) as u64;
+                // Request header + response buffer, both connection-lived.
+                let hdr = ctx.alloc(4, Some(pool))?;
+                ctx.put(hdr, 0, seed)?;
+                ctx.put(hdr, 1, req as u64)?;
+                let buf = ctx.alloc_bytes(self.response_bytes, Some(pool))?;
+                ctx.memset(buf, (seed & 0xff) as u8, self.response_bytes)?;
+                acc = mix(acc, ctx.get(hdr, 0)?);
+                acc = mix(acc, ctx.get_u8(buf, self.response_bytes / 2)? as u64);
+                ctx.compute(600); // parse + send work outside the allocator
+                ctx.request_exit();
+            }
+            ctx.pool_destroy(pool)?;
+            ctx.span_exit();
         }
         Ok(acc)
     }
@@ -142,10 +198,12 @@ impl Workload for Ftpd {
         let mut ctx = Ctx::new(machine, backend);
         let mut acc = 0u64;
         for conn in 0..self.connections {
+            ctx.span_enter("ftpd.conn");
             // fork(): connection-global pools live as long as the process.
             let global_pool = ctx.pool_create(0)?;
             let mut globals = Vec::new();
             for cmd in 0..self.commands_per_connection {
+                ctx.span_enter("ftpd.cmd");
                 let seed = (conn * 131 + cmd) as u64;
                 // 5-6 allocations out of global pools per command (§4.3).
                 for k in 0..5 + (cmd % 2) {
@@ -159,12 +217,14 @@ impl Workload for Ftpd {
                 let buf = ctx.alloc_bytes(self.file_bytes, Some(global_pool))?;
                 acc = mix(acc, serve_buffer(&mut ctx, buf, self.file_bytes, 4096, seed)?);
                 ctx.free(buf, Some(global_pool))?;
+                ctx.request_exit();
             }
             for g in globals {
                 acc = mix(acc, ctx.get(g, 1)?);
             }
             // Process killed at end of connection: pools die with it.
             ctx.pool_destroy(global_pool)?;
+            ctx.span_exit();
         }
         Ok(acc)
     }
@@ -196,6 +256,7 @@ impl Workload for Fingerd {
         let mut ctx = Ctx::new(machine, backend);
         let mut acc = 0u64;
         for req in 0..self.requests {
+            ctx.span_enter("fingerd.req");
             let pool = ctx.pool_create(0)?;
             // Parse the user name (one small allocation), build the reply.
             let name = ctx.alloc_bytes(64, Some(pool))?;
@@ -208,6 +269,7 @@ impl Workload for Fingerd {
                 acc = mix(acc, ctx.get_u8(name, i)? as u64);
             }
             ctx.pool_destroy(pool)?;
+            ctx.request_exit();
         }
         Ok(acc)
     }
@@ -242,6 +304,7 @@ impl Workload for Tftpd {
         let mut ctx = Ctx::new(machine, backend);
         let mut acc = 0u64;
         for cmd in 0..self.commands {
+            ctx.span_enter("tftpd.cmd");
             // Fork per command (§4.3: "every command from the client forks
             // off a new process").
             let pool = ctx.pool_create(0)?;
@@ -260,6 +323,7 @@ impl Workload for Tftpd {
             }
             acc = mix(acc, h);
             ctx.pool_destroy(pool)?;
+            ctx.request_exit();
         }
         Ok(acc)
     }
@@ -297,6 +361,7 @@ impl Workload for Telnetd {
         let mut ctx = Ctx::new(machine, backend);
         let mut acc = 0u64;
         for session in 0..self.sessions {
+            ctx.span_enter("telnetd.session");
             let pool = ctx.pool_create(0)?;
             // 45 small setup allocations (terminal state, option tables...).
             let mut setup = Vec::new();
@@ -325,6 +390,7 @@ impl Workload for Telnetd {
                 acc = mix(acc, ctx.get(s, 0)?);
             }
             ctx.pool_destroy(pool)?;
+            ctx.request_exit();
         }
         Ok(acc)
     }
@@ -349,6 +415,11 @@ mod tests {
     #[test]
     fn all_servers_backend_independent() {
         agree(&Ghttpd { connections: 3, response_bytes: 3000 });
+        agree(&GhttpdKeepAlive {
+            connections: 2,
+            requests_per_connection: 8,
+            response_bytes: 2000,
+        });
         agree(&Ftpd { connections: 2, commands_per_connection: 2, file_bytes: 2000 });
         agree(&Fingerd { requests: 4 });
         agree(&Tftpd { commands: 3, file_bytes: 2048 });

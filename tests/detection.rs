@@ -285,6 +285,59 @@ fn native_detects_nothing() {
     assert!(b.load(&mut m, p, 8).is_ok(), "plain malloc lets the bug through");
 }
 
+/// The acceptance scenario for call-stack forensics: a MiniC program whose
+/// allocation, free, and dangling use each happen two calls deep produces a
+/// trap report whose `alloc_stack` and `free_stack` carry the interpreter's
+/// shadow call stack with the correct function names, and whose `use_stack`
+/// is frozen at the faulting frame.
+#[test]
+fn minic_uaf_report_carries_call_stack_provenance() {
+    let prog = dangle::apa::parse(
+        "struct node { val: int }
+         fn make_node() -> ptr<node> {
+             var n: ptr<node> = malloc(node);
+             n->val = 7;
+             return n;
+         }
+         fn drop_node(n: ptr<node>) {
+             free(n);
+         }
+         fn poke(n: ptr<node>) -> int {
+             return n->val;
+         }
+         fn main() {
+             var n: ptr<node> = make_node();
+             drop_node(n);
+             print(poke(n));
+         }",
+    )
+    .expect("program parses");
+
+    let mut machine = Machine::free_running();
+    let mut backend = dangle::interp::backend::ShadowBackend::new();
+    let err = dangle::run(&prog, &mut machine, &mut backend, 100_000).unwrap_err();
+    assert!(dangle::interp::is_detection(&err), "{err}");
+    let dangle::RunError::Backend(dangle::BackendError::Trap { trap, .. }) = err else {
+        panic!("expected an MMU trap");
+    };
+
+    let report = backend
+        .detector()
+        .trap_report(&machine, &trap, "poke:read")
+        .expect("trap attributes to the freed node");
+
+    assert_eq!(report.alloc_stack, ["main", "make_node"], "malloc provenance");
+    assert_eq!(report.free_stack, ["main", "drop_node"], "free provenance");
+    assert_eq!(report.use_stack, ["main", "poke"], "stack frozen at the faulting frame");
+    assert!(report.alloc_stack.len() >= 2 && report.free_stack.len() >= 2);
+
+    // The GWP-ASan-style rendering interleaves all three stacks.
+    let rendered = report.render();
+    for frame in ["make_node", "drop_node", "poke"] {
+        assert!(rendered.contains(frame), "rendered report must show `{frame}`:\n{rendered}");
+    }
+}
+
 #[test]
 fn interior_pointers_of_large_objects_trap_on_every_page() {
     let mut m = Machine::free_running();
