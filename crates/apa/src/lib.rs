@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod corpus;
 pub mod dataflow;
 pub mod lex;
 pub mod parse;

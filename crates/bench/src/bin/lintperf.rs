@@ -23,10 +23,10 @@
 //! artifact (`BENCH_lintperf.json`) carries per-workload verdict counts,
 //! syscall/cycle deltas, and the `shadow.elided` telemetry counter.
 
-use dangle_apa::{parse, pool_allocate, pool_allocate_with_lint, LintReport, FIGURE_1};
+use dangle_apa::{corpus, parse, pool_allocate, pool_allocate_with_lint, LintReport, FIGURE_1};
 use dangle_bench::{render_table, Artifact};
 use dangle_interp::backend::ShadowPoolBackend;
-use dangle_interp::{is_detection, run};
+use dangle_interp::{is_detection, run_with, Engine};
 use dangle_telemetry::Json;
 use dangle_vmm::{Machine, MachineStats};
 
@@ -40,103 +40,25 @@ struct Program {
     expect_detection: bool,
 }
 
-/// fingerd-style: one request record per query, used and retired inline.
-/// Every site is ProvablySafe — full elision.
-fn fingerd(requests: u64) -> String {
-    format!(
-        "struct req {{ user: int, len: int }}
-         fn main() {{
-             var n: int = 0;
-             while (n < {requests}) {{
-                 var q: ptr<req> = malloc(req);
-                 q->user = n * 7;
-                 q->len = n + 3;
-                 print(q->user + q->len);
-                 free(q);
-                 n = n + 1;
-             }}
-         }}"
-    )
-}
-
-/// ftpd-style: a session record plus a per-transfer buffer array, freed on
-/// both sides of a branch. Still ProvablySafe throughout.
-fn ftpd(sessions: u64) -> String {
-    format!(
-        "struct sess {{ id: int, bytes: int }}
-         struct buf {{ data: int }}
-         fn main() {{
-             var s: int = 0;
-             while (s < {sessions}) {{
-                 var c: ptr<sess> = malloc(sess);
-                 c->id = s;
-                 var b: ptr<buf> = malloc_array(buf, 8);
-                 var i: int = 0;
-                 while (i < 8) {{
-                     b[i]->data = s + i * 2;
-                     c->bytes = c->bytes + b[i]->data;
-                     i = i + 1;
-                 }}
-                 print(c->bytes);
-                 if (c->bytes < 100) {{ free(b); }} else {{ free(b); }}
-                 free(c);
-                 s = s + 1;
-             }}
-         }}"
-    )
-}
-
-/// ghttpd-style: per-request responses retire inline (elidable), but the
-/// connection list lives in a global and is torn down through it — those
-/// frees stay Unknown and keep full protection. Class-granular elision in
-/// one program.
-fn ghttpd(requests: u64) -> String {
-    format!(
-        "struct conn {{ fd: int, next: ptr<conn> }}
-         struct resp {{ code: int, size: int }}
-         global live: ptr<conn>;
-         fn main() {{
-             var r: int = 0;
-             while (r < {requests}) {{
-                 var c: ptr<conn> = malloc(conn);
-                 c->fd = r;
-                 c->next = live;
-                 live = c;
-                 var p: ptr<resp> = malloc(resp);
-                 p->code = 200;
-                 p->size = r * 100;
-                 print(p->code + p->size);
-                 free(p);
-                 r = r + 1;
-             }}
-             while (live != null) {{
-                 var t: ptr<conn> = live;
-                 live = t->next;
-                 free(t);
-             }}
-         }}"
-    )
-}
-
 fn suite(quick: bool) -> Vec<Program> {
     let n: u64 = if quick { 50 } else { 2000 };
     let mut v = vec![
         Program {
             name: "fingerd",
             kind: "server",
-            src: fingerd(n),
+            src: corpus::fingerd(n),
             expect_detection: false,
         },
         Program {
             name: "ftpd",
             kind: "server",
-            src: ftpd(n / 2),
+            src: corpus::ftpd(n / 2),
             expect_detection: false,
         },
         Program {
             name: "ghttpd",
             kind: "server",
-            src: ghttpd(n / 2),
+            src: corpus::ghttpd(n / 2),
             expect_detection: false,
         },
         Program {
@@ -147,39 +69,7 @@ fn suite(quick: bool) -> Vec<Program> {
         },
     ];
     // Injected-UAF corpus: the detector must fire identically on and off.
-    let uafs: [(&'static str, &'static str); 4] = [
-        (
-            "uaf-straight",
-            "struct s { v: int }
-             fn main() { var p: ptr<s> = malloc(s); p->v = 1; free(p); print(p->v); }",
-        ),
-        (
-            "double-free",
-            "struct s { v: int }
-             fn main() { var p: ptr<s> = malloc(s); free(p); free(p); }",
-        ),
-        (
-            "uaf-branch",
-            "struct s { v: int }
-             fn main() {
-                 var p: ptr<s> = malloc(s);
-                 var c: int = 1;
-                 if (c < 2) { free(p); }
-                 print(p->v);
-             }",
-        ),
-        (
-            "uaf-loop",
-            "struct s { v: int }
-             fn main() {
-                 var p: ptr<s> = malloc(s);
-                 free(p);
-                 var i: int = 0;
-                 while (i < 2) { print(p->v); i = i + 1; }
-             }",
-        ),
-    ];
-    for (name, src) in uafs {
+    for (name, src) in corpus::injected_uafs() {
         v.push(Program {
             name,
             kind: "injected-uaf",
@@ -202,7 +92,7 @@ struct RunResult {
     report: Option<LintReport>,
 }
 
-fn run_once(src: &str, lint_on: bool) -> RunResult {
+fn run_once(src: &str, lint_on: bool, engine: Engine) -> RunResult {
     let prog = parse(src).expect("suite program parses");
     let (transformed, report) = if lint_on {
         let (t, _, r) = pool_allocate_with_lint(&prog);
@@ -219,7 +109,7 @@ fn run_once(src: &str, lint_on: bool) -> RunResult {
         t.counter_add("lint.sites_flagged", r.sites_flagged());
     }
     let mut b = ShadowPoolBackend::new();
-    let (output, detected) = match run(&transformed, &mut m, &mut b, FUEL) {
+    let (output, detected) = match run_with(engine, &transformed, &mut m, &mut b, FUEL) {
         Ok(o) => (o.output, false),
         Err(e) if is_detection(&e) => (Vec::new(), true),
         Err(e) => panic!("unexpected runtime error: {e}"),
@@ -232,6 +122,18 @@ fn run_once(src: &str, lint_on: bool) -> RunResult {
         elided: m.metrics_snapshot().counter("shadow.elided"),
         report,
     }
+}
+
+/// Re-runs the lint-on pipeline under the bytecode engine and asserts the
+/// observables — output, detection verdict, elision counter, and the full
+/// simulated cycle count on the calibrated machine — match the AST run.
+/// Proves the lint `unchecked` stamps survive compilation to bytecode.
+fn assert_engines_identical(name: &str, src: &str, ast: &RunResult) {
+    let bc = run_once(src, true, Engine::Bytecode);
+    assert_eq!(ast.output, bc.output, "{name}: engine output diverged");
+    assert_eq!(ast.detected, bc.detected, "{name}: engine detection diverged");
+    assert_eq!(ast.elided, bc.elided, "{name}: engine elision diverged");
+    assert_eq!(ast.cycles, bc.cycles, "{name}: engine cycles diverged");
 }
 
 fn main() {
@@ -249,8 +151,9 @@ fn main() {
     let mut server_with_strict_reduction = 0usize;
 
     for p in &programs {
-        let off = run_once(&p.src, false);
-        let on = run_once(&p.src, true);
+        let off = run_once(&p.src, false, Engine::Ast);
+        let on = run_once(&p.src, true, Engine::Ast);
+        assert_engines_identical(p.name, &p.src, &on);
         let report = on.report.as_ref().expect("lint report present");
 
         // Byte-identical behaviour: same printed values, same
@@ -314,6 +217,7 @@ fn main() {
             ("cycles_on".into(), Json::from_u64(on.cycles)),
             ("detected".into(), Json::Bool(on.detected)),
             ("detections_identical".into(), Json::Bool(true)),
+            ("engines_identical".into(), Json::Bool(true)),
         ]));
     }
 

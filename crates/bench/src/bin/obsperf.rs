@@ -24,8 +24,10 @@
 //! flamegraph.pl-compatible). `OBSPERF_QUICK=1` shrinks the workloads for
 //! CI smoke runs.
 
+use dangle_apa::{corpus, parse};
 use dangle_bench::{measure_backend, measure_on, render_table, Artifact, Config, Measurement};
-use dangle_interp::backend::BackendError;
+use dangle_interp::backend::{BackendError, ShadowBackend};
+use dangle_interp::{run_with, Engine, RunError};
 use dangle_telemetry::{HistogramSnapshot, Json, TelemetryConfig};
 use dangle_vmm::{Machine, MachineConfig};
 use dangle_workloads::servers::{Ftpd, GhttpdKeepAlive};
@@ -53,6 +55,32 @@ fn injected_uaf_report(traced: bool) -> String {
     report.expect("trap must be attributed")
 }
 
+/// Drives every injected-UAF MiniC program through the chosen interpreter
+/// engine on a traced machine and returns the structured `TrapReport`
+/// JSON per program. Compared across engines: the recorder's forensics —
+/// allocation/free/use shadow call stacks, event-ring context — must not
+/// depend on which engine executed the program.
+fn minic_uaf_reports(engine: Engine) -> Vec<String> {
+    corpus::injected_uafs()
+        .into_iter()
+        .map(|(name, src)| {
+            let prog = parse(src).expect("corpus program parses");
+            let mut m = Machine::with_config(traced_config());
+            let mut b = ShadowBackend::new();
+            let err =
+                run_with(engine, &prog, &mut m, &mut b, 50_000_000).expect_err("UAF must trap");
+            let RunError::Backend(BackendError::Trap { trap, .. }) = &err else {
+                panic!("{name}: expected a trap, got {err}");
+            };
+            b.detector()
+                .trap_report(&m, trap, "minic")
+                .unwrap_or_else(|| panic!("{name}: trap not attributed"))
+                .to_json()
+                .to_string()
+        })
+        .collect()
+}
+
 /// The `request.cycles` histogram of a traced run.
 fn latency(m: &Measurement) -> &HistogramSnapshot {
     m.metrics
@@ -68,6 +96,12 @@ fn main() {
     let report_off = injected_uaf_report(false);
     let report_on = injected_uaf_report(true);
     assert_eq!(report_off, report_on, "tracing must not change trap reports");
+
+    // And through the full MiniC pipeline under both interpreter engines:
+    // the traced trap forensics must be byte-identical JSON.
+    let ast_reports = minic_uaf_reports(Engine::Ast);
+    let bc_reports = minic_uaf_reports(Engine::Bytecode);
+    assert_eq!(ast_reports, bc_reports, "engines must produce identical trap reports");
 
     let workloads: Vec<Box<dyn Workload>> = if quick {
         vec![
@@ -178,6 +212,7 @@ fn main() {
     artifact.set("quick", Json::Bool(quick));
     artifact.set("rows", Json::Arr(artifact_rows));
     artifact.set("detections_identical", Json::Bool(true));
+    artifact.set("engines_identical", Json::Bool(true));
     artifact.set("folded_lines", Json::from_u64(folded.lines().count() as u64));
     artifact.write_cwd().expect("write BENCH artifact");
 }

@@ -105,6 +105,10 @@ pub struct Measurement {
     pub cycles: u64,
     /// Workload checksum (must agree across configurations).
     pub checksum: u64,
+    /// Host wall-clock time of the run in milliseconds (the only
+    /// host-dependent field; everything else is simulated and
+    /// deterministic).
+    pub host_wall_ms: f64,
     /// Machine counters at completion.
     pub stats: MachineStats,
     /// Full telemetry snapshot (event counters, pool/core/gc metrics, and
@@ -113,14 +117,32 @@ pub struct Measurement {
 }
 
 impl Measurement {
+    /// Host throughput: complete workload executions per second of host
+    /// wall-clock time (0.0 when the run was too fast to time).
+    pub fn host_exec_per_sec(&self) -> f64 {
+        if self.host_wall_ms > 0.0 { 1000.0 / self.host_wall_ms } else { 0.0 }
+    }
+
+    /// This measurement with the host-dependent fields zeroed — the
+    /// deterministic view that run-to-run comparisons (and the isolation
+    /// tests) use.
+    pub fn without_host(&self) -> Measurement {
+        Measurement { host_wall_ms: 0.0, ..self.clone() }
+    }
+
     /// The standard JSON view of one run, embedded in every artifact row:
     /// cycles, syscall counts by kind, TLB hit/miss counts, access counts,
-    /// memory high-water marks, and the raw metrics snapshot.
+    /// memory high-water marks, host wall-clock throughput, and the raw
+    /// metrics snapshot. `host_wall_ms`/`host_exec_per_sec` are always
+    /// emitted (zero when untimed) so every `BENCH_*.json` tracks the host
+    /// perf trajectory on a stable schema.
     pub fn to_json(&self) -> Json {
         let s = &self.stats;
         Json::Obj(vec![
             ("cycles".into(), Json::from_u64(self.cycles)),
             ("checksum".into(), Json::from_u64(self.checksum)),
+            ("host_wall_ms".into(), Json::Float(self.host_wall_ms)),
+            ("host_exec_per_sec".into(), Json::Float(self.host_exec_per_sec())),
             (
                 "syscalls".into(),
                 Json::Obj(vec![
@@ -236,12 +258,14 @@ pub fn measure_on(
     machine: &mut Machine,
 ) -> Measurement {
     machine.telemetry_mut().reset_for_run();
+    let started = std::time::Instant::now();
     let checksum = workload
         .run(machine, backend)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), backend.name()));
     Measurement {
         cycles: machine.clock(),
         checksum,
+        host_wall_ms: started.elapsed().as_secs_f64() * 1000.0,
         stats: *machine.stats(),
         metrics: machine.metrics_snapshot(),
     }
@@ -309,7 +333,28 @@ mod tests {
         let first = measure(&w, Config::Ours);
         let _between = measure(&w, Config::Memcheck);
         let again = measure(&w, Config::Ours);
-        assert_eq!(first.to_json().to_string(), again.to_json().to_string());
+        // Host wall time is the one legitimately nondeterministic field.
+        assert_eq!(
+            first.without_host().to_json().to_string(),
+            again.without_host().to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn host_throughput_keys_are_always_emitted() {
+        let w = Ghttpd { connections: 2, response_bytes: 2000 };
+        let m = measure(&w, Config::Native);
+        let j = Json::parse(&m.to_json().to_string()).unwrap();
+        let wall = j.get("host_wall_ms").and_then(Json::as_f64).unwrap();
+        let eps = j.get("host_exec_per_sec").and_then(Json::as_f64).unwrap();
+        assert!(wall >= 0.0);
+        if wall > 0.0 {
+            assert!((eps - 1000.0 / wall).abs() < 1e-6);
+        }
+        // The zeroed view keeps the keys (stable schema), just at 0.
+        let z = m.without_host().to_json();
+        assert_eq!(z.get("host_wall_ms").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(z.get("host_exec_per_sec").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]

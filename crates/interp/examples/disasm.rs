@@ -1,0 +1,17 @@
+//! Dev tool: prints the bytecode listing for the pooled Figure 1 program
+//! and the keep-alive server's `checksum` (the pinned snapshots in
+//! `tests/snapshots/` were produced — and are regenerated after reviewed
+//! ISA changes — with `cargo run -p dangle-interp --example disasm`).
+fn main() {
+    let prog = dangle_apa::parse(dangle_apa::FIGURE_1).unwrap();
+    let (pooled, _) = dangle_apa::pool_allocate(&prog);
+    print!("{}", dangle_interp::compile(&pooled).unwrap().disassemble());
+    eprintln!("--- checksum (stderr) ---");
+    let ka = dangle_apa::corpus::ghttpd_keepalive(2, 2);
+    let bc = dangle_interp::compile(&dangle_apa::parse(&ka).unwrap()).unwrap();
+    for f in &bc.funcs {
+        if f.name == "checksum" {
+            eprint!("{}", f.disassemble());
+        }
+    }
+}

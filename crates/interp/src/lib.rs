@@ -13,6 +13,14 @@
 //!   limit, returning the printed output — the observable behaviour used by
 //!   the semantics-preservation property tests.
 //!
+//! Two execution engines share that contract: the tree-walking AST
+//! interpreter ([`run`], [`Engine::Ast`]) and the register-bytecode
+//! compiler + VM ([`compile`] → [`run_compiled`], [`Engine::Bytecode`]),
+//! which resolves every name to a numeric slot ahead of time for ~10x the
+//! host throughput. The engines are differentially tested to produce
+//! identical output, steps, simulated clock, detections and trap reports;
+//! [`run_with`] selects one.
+//!
 //! ```rust
 //! use dangle_apa::{parse, pool_allocate, FIGURE_1};
 //! use dangle_interp::{backend::ShadowPoolBackend, run, RunError};
@@ -27,8 +35,14 @@
 //! ```
 
 pub mod backend;
+pub mod bytecode;
+pub mod compile;
+pub mod vm;
 
 pub use backend::{Backend, BackendError, PoolHandle};
+pub use bytecode::BcProgram;
+pub use compile::{compile, CompileError};
+pub use vm::run_compiled;
 
 use dangle_apa::ast::*;
 use dangle_telemetry::Category;
@@ -36,6 +50,7 @@ use dangle_vmm::{Machine, VirtAddr};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// Result of a completed run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -71,6 +86,9 @@ pub enum RunError {
     NoMain,
     /// The fuel limit was exhausted.
     OutOfFuel,
+    /// The bytecode engine rejected the program before execution (static
+    /// name errors the AST engine would only hit at run time).
+    Compile(CompileError),
 }
 
 impl fmt::Display for RunError {
@@ -86,6 +104,7 @@ impl fmt::Display for RunError {
             RunError::NotAPointer => write!(f, "expression is not a struct pointer"),
             RunError::NoMain => write!(f, "program has no `main` function"),
             RunError::OutOfFuel => write!(f, "fuel exhausted (possible infinite loop)"),
+            RunError::Compile(e) => write!(f, "{e}"),
         }
     }
 }
@@ -104,11 +123,56 @@ pub fn is_detection(err: &RunError) -> bool {
     matches!(err, RunError::Backend(e) if e.is_detection())
 }
 
+/// Which execution engine runs the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The tree-walking AST interpreter — the differential reference.
+    Ast,
+    /// The register-bytecode compiler + VM — same observable behaviour,
+    /// ~10x the host throughput (see `BENCH_interpperf.json`).
+    Bytecode,
+}
+
+/// [`run`] through the selected engine. The bytecode engine compiles
+/// first; static name errors surface as [`RunError::Compile`].
+///
+/// # Errors
+/// See [`RunError`].
+pub fn run_with(
+    engine: Engine,
+    prog: &Program,
+    machine: &mut Machine,
+    backend: &mut dyn Backend,
+    fuel: u64,
+) -> Result<RunOutcome, RunError> {
+    match engine {
+        Engine::Ast => run(prog, machine, backend, fuel),
+        Engine::Bytecode => {
+            let bc = compile(prog).map_err(RunError::Compile)?;
+            run_compiled(&bc, machine, backend, fuel)
+        }
+    }
+}
+
+/// Static (pointee) type of an evaluated expression — a `Copy` mirror of
+/// the old `Option<Type>` results, interned against the program so no
+/// `String` is cloned per access.
+#[derive(Clone, Copy)]
+enum Sty<'p> {
+    Int,
+    /// Pointer to a known struct.
+    Ptr(&'p StructDef),
+    /// Pointer to an undeclared struct (dereference = `NotAPointer`).
+    PtrUndef,
+    /// No static type (`null`, void calls).
+    None,
+}
+
 #[derive(Default)]
-struct Frame {
-    vars: HashMap<String, i64>,
-    var_types: HashMap<String, Type>,
-    pools: HashMap<String, PoolHandle>,
+struct Frame<'p> {
+    vars: HashMap<Rc<str>, i64>,
+    var_types: HashMap<Rc<str>, Sty<'p>>,
+    pools: HashMap<Rc<str>, PoolHandle>,
 }
 
 enum Flow {
@@ -117,13 +181,64 @@ enum Flow {
 }
 
 struct Interp<'p, 'm, 'b> {
-    prog: &'p Program,
+    /// Name-resolution tables built once per run: function and struct
+    /// lookups are O(1) with no `FuncDef` clone per call, and every
+    /// variable/pool key is a pre-interned `Rc<str>` so frame inserts are
+    /// refcount bumps, not `String` allocations.
+    funcs: HashMap<&'p str, &'p FuncDef>,
+    structs: HashMap<&'p str, &'p StructDef>,
+    names: HashMap<&'p str, Rc<str>>,
     machine: &'m mut Machine,
     backend: &'b mut dyn Backend,
-    globals: Frame,
+    globals: Frame<'p>,
     output: Vec<i64>,
     fuel: u64,
     steps: u64,
+}
+
+fn to_sty<'p>(ty: Option<&'p Type>, structs: &HashMap<&'p str, &'p StructDef>) -> Sty<'p> {
+    match ty {
+        None => Sty::None,
+        Some(Type::Int) => Sty::Int,
+        Some(Type::Ptr(name)) => match structs.get(name.as_str()) {
+            Some(def) => Sty::Ptr(def),
+            None => Sty::PtrUndef,
+        },
+    }
+}
+
+/// Collects every name a run can insert into a frame (globals, params,
+/// locals, pool descriptors) so they are interned exactly once.
+fn collect_names<'p>(prog: &'p Program, names: &mut HashMap<&'p str, Rc<str>>) {
+    fn add<'p>(names: &mut HashMap<&'p str, Rc<str>>, n: &'p str) {
+        names.entry(n).or_insert_with(|| Rc::from(n));
+    }
+    fn walk<'p>(names: &mut HashMap<&'p str, Rc<str>>, stmts: &'p [Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::VarDecl { name, .. } => add(names, name),
+                Stmt::PoolInit { pool, .. } => add(names, pool),
+                Stmt::If { then, els, .. } => {
+                    walk(names, then);
+                    walk(names, els);
+                }
+                Stmt::While { body, .. } => walk(names, body),
+                _ => {}
+            }
+        }
+    }
+    for (g, _) in &prog.globals {
+        add(names, g);
+    }
+    for f in &prog.funcs {
+        for (p, _) in &f.params {
+            add(names, p);
+        }
+        for p in &f.pool_params {
+            add(names, p);
+        }
+        walk(names, &f.body);
+    }
 }
 
 /// Executes `prog`'s `main` against `backend`, with at most `fuel`
@@ -138,13 +253,23 @@ pub fn run(
     backend: &mut dyn Backend,
     fuel: u64,
 ) -> Result<RunOutcome, RunError> {
+    let funcs: HashMap<&str, &FuncDef> =
+        prog.funcs.iter().map(|f| (f.name.as_str(), f)).collect();
+    let structs: HashMap<&str, &StructDef> =
+        prog.structs.iter().map(|s| (s.name.as_str(), s)).collect();
+    let mut names = HashMap::new();
+    collect_names(prog, &mut names);
     let mut globals = Frame::default();
     for (g, t) in &prog.globals {
-        globals.vars.insert(g.clone(), 0);
-        globals.var_types.insert(g.clone(), t.clone());
+        let key = names[g.as_str()].clone();
+        globals.vars.insert(key.clone(), 0);
+        globals.var_types.insert(key, to_sty(Some(t), &structs));
     }
+    let main = *funcs.get("main").ok_or(RunError::NoMain)?;
     let mut interp = Interp {
-        prog,
+        funcs,
+        structs,
+        names,
         machine,
         backend,
         globals,
@@ -152,7 +277,6 @@ pub fn run(
         fuel,
         steps: 0,
     };
-    let main = prog.func("main").ok_or(RunError::NoMain)?;
     let mut frame = Frame::default();
     // Shadow call stack: on an abnormal exit (trap, runtime error) the `?`
     // below skips the pop, deliberately freezing the stack at the faulting
@@ -167,7 +291,7 @@ pub fn run(
     Ok(RunOutcome { output: interp.output, steps_used: interp.steps })
 }
 
-impl Interp<'_, '_, '_> {
+impl<'p> Interp<'p, '_, '_> {
     fn burn(&mut self) -> Result<(), RunError> {
         if self.fuel == 0 {
             return Err(RunError::OutOfFuel);
@@ -178,33 +302,51 @@ impl Interp<'_, '_, '_> {
         Ok(())
     }
 
-    fn struct_of(&self, ty: Option<&Type>) -> Option<&StructDef> {
+    fn struct_of(&self, ty: Sty<'p>) -> Option<&'p StructDef> {
         match ty {
-            Some(Type::Ptr(name)) => self.prog.struct_def(name),
+            Sty::Ptr(def) => Some(def),
             _ => None,
         }
     }
 
+    fn sty_of(&self, ty: Option<&'p Type>) -> Sty<'p> {
+        to_sty(ty, &self.structs)
+    }
+
+    /// The pre-interned key for `name` (a refcount bump, not a `String`
+    /// allocation; falls back to a fresh `Rc` for names outside the
+    /// program, which cannot happen for well-formed input).
+    fn intern(&self, name: &str) -> Rc<str> {
+        self.names.get(name).map(Rc::clone).unwrap_or_else(|| Rc::from(name))
+    }
+
     /// Evaluates `e`, returning its value and (for pointers) its static
     /// pointee struct type.
-    fn eval(&mut self, e: &Expr, frame: &mut Frame) -> Result<(i64, Option<Type>), RunError> {
+    fn eval(&mut self, e: &'p Expr, frame: &mut Frame<'p>) -> Result<(i64, Sty<'p>), RunError> {
         self.burn()?;
         match e {
-            Expr::Int(v) => Ok((*v, Some(Type::Int))),
-            Expr::Null => Ok((0, None)),
+            Expr::Int(v) => Ok((*v, Sty::Int)),
+            Expr::Null => Ok((0, Sty::None)),
             Expr::Var(name) => {
-                if let Some(&v) = frame.vars.get(name) {
-                    Ok((v, frame.var_types.get(name).cloned()))
-                } else if let Some(&v) = self.globals.vars.get(name) {
-                    Ok((v, self.globals.var_types.get(name).cloned()))
+                if let Some(&v) = frame.vars.get(name.as_str()) {
+                    Ok((v, frame.var_types.get(name.as_str()).copied().unwrap_or(Sty::None)))
+                } else if let Some(&v) = self.globals.vars.get(name.as_str()) {
+                    Ok((
+                        v,
+                        self.globals
+                            .var_types
+                            .get(name.as_str())
+                            .copied()
+                            .unwrap_or(Sty::None),
+                    ))
                 } else {
                     Err(RunError::UndefinedVariable(name.clone()))
                 }
             }
             Expr::Malloc { struct_name, pool, unchecked, .. } => {
-                let def = self
-                    .prog
-                    .struct_def(struct_name)
+                let def = *self
+                    .structs
+                    .get(struct_name.as_str())
                     .ok_or_else(|| RunError::UndefinedField(struct_name.clone()))?;
                 let size = def.size();
                 let nfields = def.fields.len();
@@ -220,12 +362,12 @@ impl Interp<'_, '_, '_> {
                 for i in 0..nfields {
                     self.backend.store(self.machine, addr.add(i as u64 * 8), 8, 0)?;
                 }
-                Ok((addr.raw() as i64, Some(Type::Ptr(struct_name.clone()))))
+                Ok((addr.raw() as i64, Sty::Ptr(def)))
             }
             Expr::MallocArray { struct_name, count, pool, unchecked, .. } => {
-                let def = self
-                    .prog
-                    .struct_def(struct_name)
+                let def = *self
+                    .structs
+                    .get(struct_name.as_str())
                     .ok_or_else(|| RunError::UndefinedField(struct_name.clone()))?;
                 let (n, _) = self.eval(count, frame)?;
                 if !(0..=1 << 20).contains(&n) {
@@ -245,7 +387,7 @@ impl Interp<'_, '_, '_> {
                 for i in 0..nfields * n.max(1) as usize {
                     self.backend.store(self.machine, addr.add(i as u64 * 8), 8, 0)?;
                 }
-                Ok((addr.raw() as i64, Some(Type::Ptr(struct_name.clone()))))
+                Ok((addr.raw() as i64, Sty::Ptr(def)))
             }
             Expr::Index { base, index } => {
                 let (bv, bt) = self.eval(base, frame)?;
@@ -253,7 +395,7 @@ impl Interp<'_, '_, '_> {
                 if bv == 0 {
                     return Err(RunError::NullDereference);
                 }
-                let def = self.struct_of(bt.as_ref()).ok_or(RunError::NotAPointer)?;
+                let def = self.struct_of(bt).ok_or(RunError::NotAPointer)?;
                 let addr = (bv as u64).wrapping_add((iv as u64).wrapping_mul(def.size() as u64));
                 Ok((addr as i64, bt))
             }
@@ -262,11 +404,11 @@ impl Interp<'_, '_, '_> {
                 if bv == 0 {
                     return Err(RunError::NullDereference);
                 }
-                let def = self.struct_of(bt.as_ref()).ok_or(RunError::NotAPointer)?;
+                let def = self.struct_of(bt).ok_or(RunError::NotAPointer)?;
                 let off = def
                     .offset_of(field)
                     .ok_or_else(|| RunError::UndefinedField(field.clone()))?;
-                let fty = def.type_of(field).cloned();
+                let fty = self.sty_of(def.type_of(field));
                 let raw =
                     self.backend.load(self.machine, VirtAddr(bv as u64).add(off as u64), 8)?;
                 Ok((raw as i64, fty))
@@ -299,32 +441,33 @@ impl Interp<'_, '_, '_> {
                     BinOp::And => i64::from(a != 0 && b != 0),
                     BinOp::Or => i64::from(a != 0 || b != 0),
                 };
-                Ok((v, Some(Type::Int)))
+                Ok((v, Sty::Int))
             }
             Expr::Call { callee, args, pool_args } => {
-                let func = self
-                    .prog
-                    .func(callee)
-                    .ok_or_else(|| RunError::UndefinedFunction(callee.clone()))?
-                    .clone();
+                let func = *self
+                    .funcs
+                    .get(callee.as_str())
+                    .ok_or_else(|| RunError::UndefinedFunction(callee.clone()))?;
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(a, frame)?.0);
                 }
                 let mut callee_frame = Frame::default();
                 for ((pname, pty), v) in func.params.iter().zip(vals) {
-                    callee_frame.vars.insert(pname.clone(), v);
-                    callee_frame.var_types.insert(pname.clone(), pty.clone());
+                    let key = self.intern(pname);
+                    let sty = self.sty_of(Some(pty));
+                    callee_frame.vars.insert(key.clone(), v);
+                    callee_frame.var_types.insert(key, sty);
                 }
                 for (formal, actual) in func.pool_params.iter().zip(pool_args) {
                     let h = frame
                         .pools
-                        .get(actual)
+                        .get(actual.as_str())
                         .copied()
                         .ok_or_else(|| RunError::UndefinedPool(actual.clone()))?;
-                    callee_frame.pools.insert(formal.clone(), h);
+                    callee_frame.pools.insert(self.intern(formal), h);
                 }
-                let ret_ty = func.ret.clone();
+                let ret_ty = self.sty_of(func.ret.as_ref());
                 // As in `run`, an error path keeps the callee frame on the
                 // shadow stack so the trap report sees the full chain.
                 self.machine.telemetry_mut().push_call(callee);
@@ -343,7 +486,7 @@ impl Interp<'_, '_, '_> {
     fn resolve_pool(
         &mut self,
         pool: Option<&str>,
-        frame: &Frame,
+        frame: &Frame<'p>,
     ) -> Result<Option<PoolHandle>, RunError> {
         match pool {
             None => Ok(None),
@@ -356,7 +499,7 @@ impl Interp<'_, '_, '_> {
         }
     }
 
-    fn exec_block(&mut self, stmts: &[Stmt], frame: &mut Frame) -> Result<Flow, RunError> {
+    fn exec_block(&mut self, stmts: &'p [Stmt], frame: &mut Frame<'p>) -> Result<Flow, RunError> {
         for s in stmts {
             if let Flow::Returned(v) = self.exec_stmt(s, frame)? {
                 return Ok(Flow::Returned(v));
@@ -365,7 +508,7 @@ impl Interp<'_, '_, '_> {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(&mut self, s: &Stmt, frame: &mut Frame) -> Result<Flow, RunError> {
+    fn exec_stmt(&mut self, s: &'p Stmt, frame: &mut Frame<'p>) -> Result<Flow, RunError> {
         self.burn()?;
         match s {
             Stmt::VarDecl { name, ty, init } => {
@@ -373,18 +516,20 @@ impl Interp<'_, '_, '_> {
                     Some(e) => self.eval(e, frame)?.0,
                     None => 0,
                 };
-                frame.vars.insert(name.clone(), v);
-                frame.var_types.insert(name.clone(), ty.clone());
+                let key = self.intern(name);
+                let sty = self.sty_of(Some(ty));
+                frame.vars.insert(key.clone(), v);
+                frame.var_types.insert(key, sty);
                 Ok(Flow::Normal)
             }
             Stmt::Assign { lhs, rhs } => {
                 let v = self.eval(rhs, frame)?.0;
                 match lhs {
                     LValue::Var(name) => {
-                        if frame.vars.contains_key(name) {
-                            frame.vars.insert(name.clone(), v);
-                        } else if self.globals.vars.contains_key(name) {
-                            self.globals.vars.insert(name.clone(), v);
+                        if let Some(slot) = frame.vars.get_mut(name.as_str()) {
+                            *slot = v;
+                        } else if let Some(slot) = self.globals.vars.get_mut(name.as_str()) {
+                            *slot = v;
                         } else {
                             return Err(RunError::UndefinedVariable(name.clone()));
                         }
@@ -394,7 +539,7 @@ impl Interp<'_, '_, '_> {
                         if bv == 0 {
                             return Err(RunError::NullDereference);
                         }
-                        let def = self.struct_of(bt.as_ref()).ok_or(RunError::NotAPointer)?;
+                        let def = self.struct_of(bt).ok_or(RunError::NotAPointer)?;
                         let off = def
                             .offset_of(field)
                             .ok_or_else(|| RunError::UndefinedField(field.clone()))?;
@@ -458,13 +603,13 @@ impl Interp<'_, '_, '_> {
             }
             Stmt::PoolInit { pool, elem_size } => {
                 let h = self.backend.pool_create(self.machine, *elem_size)?;
-                frame.pools.insert(pool.clone(), h);
+                frame.pools.insert(self.intern(pool), h);
                 Ok(Flow::Normal)
             }
             Stmt::PoolDestroy { pool } => {
                 let h = frame
                     .pools
-                    .get(pool)
+                    .get(pool.as_str())
                     .copied()
                     .ok_or_else(|| RunError::UndefinedPool(pool.clone()))?;
                 self.backend.pool_destroy(self.machine, h)?;

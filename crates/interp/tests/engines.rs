@@ -1,0 +1,515 @@
+//! Engine-equivalence differential suite.
+//!
+//! The AST tree-walker is the reference semantics; the register-bytecode
+//! compiler + VM must be observationally identical on every program the
+//! AST engine executes without a name error: same output, same step
+//! count, same simulated clock (the coalesced-cost contract), same
+//! runtime errors, same detections and byte-identical trap-report JSON.
+//!
+//! Coverage comes from three directions: a few hundred randomly generated
+//! MiniC programs (raw and pool-transformed, on the native and
+//! shadow-pool backends), the server corpus the benchmarks use, and the
+//! injected use-after-free corpus where the trap provenance — allocation
+//! site, free site, shadow call stacks — must match exactly. A fuel sweep
+//! pins the out-of-fuel exhaustion point to the burn.
+
+use dangle_apa::{corpus, parse, pool_allocate, FIGURE_1};
+use dangle_interp::backend::{
+    Backend, NativeBackend, ShadowBackend, ShadowPoolBackend,
+};
+use dangle_interp::{compile, run, run_compiled, RunError, RunOutcome};
+use dangle_vmm::Machine;
+
+const FUEL: u64 = 50_000_000;
+
+/// Deterministic xorshift64* generator (offline build: no proptest).
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Runs `prog` through one engine on a fresh machine + backend, returning
+/// the result and the final simulated clock.
+fn run_engine(
+    bytecode: bool,
+    prog: &dangle_apa::Program,
+    backend: &mut dyn Backend,
+    fuel: u64,
+) -> (Result<RunOutcome, RunError>, u64) {
+    let mut machine = Machine::free_running();
+    let res = if bytecode {
+        match compile(prog) {
+            Ok(bc) => run_compiled(&bc, &mut machine, backend, fuel),
+            Err(e) => Err(RunError::Compile(e)),
+        }
+    } else {
+        run(prog, &mut machine, backend, fuel)
+    };
+    (res, machine.clock())
+}
+
+/// Asserts both engines agree on result and clock under fresh instances
+/// of the given backend.
+fn assert_agree(
+    prog: &dangle_apa::Program,
+    mut mk: impl FnMut() -> Box<dyn Backend>,
+    fuel: u64,
+    ctx: &str,
+) {
+    let (ast, ast_clock) = run_engine(false, prog, mk().as_mut(), fuel);
+    let (bc, bc_clock) = run_engine(true, prog, mk().as_mut(), fuel);
+    assert_eq!(ast, bc, "{ctx}: results diverge");
+    assert_eq!(ast_clock, bc_clock, "{ctx}: clocks diverge");
+}
+
+// ---- random program generator ---------------------------------------------
+
+/// Generates a random well-named MiniC program: every variable is declared
+/// before use and scoped lexically, every call has the declared arity, and
+/// names are never reused — the fragment on which the two engines promise
+/// identical behaviour (see `compile`'s documented static rejections).
+struct Gen {
+    rng: TestRng,
+    out: String,
+    /// In-scope int variables.
+    ints: Vec<String>,
+    /// In-scope ptr<node> variables.
+    ptrs: Vec<String>,
+    next_name: usize,
+    /// Helper functions emitted before main: (name, n_int_params).
+    helpers: Vec<(String, usize)>,
+}
+
+impl Gen {
+    fn fresh(&mut self) -> String {
+        self.next_name += 1;
+        format!("v{}", self.next_name)
+    }
+
+    fn int_expr(&mut self, depth: u32) -> String {
+        match self.rng.below(if depth == 0 { 2 } else { 8 }) {
+            0 => format!("{}", self.rng.below(19) as i64 - 4),
+            1 if !self.ints.is_empty() => {
+                let i = self.rng.below(self.ints.len() as u64) as usize;
+                self.ints[i].clone()
+            }
+            1 => format!("{}", self.rng.below(7)),
+            2..=4 => {
+                let op = ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"]
+                    [self.rng.below(13) as usize];
+                let a = self.int_expr(depth - 1);
+                let b = self.int_expr(depth - 1);
+                format!("({a} {op} {b})")
+            }
+            5 if !self.ptrs.is_empty() => {
+                let i = self.rng.below(self.ptrs.len() as u64) as usize;
+                format!("{}->val", self.ptrs[i])
+            }
+            6 if !self.helpers.is_empty() => {
+                let i = self.rng.below(self.helpers.len() as u64) as usize;
+                let (name, arity) = self.helpers[i].clone();
+                let args: Vec<String> =
+                    (0..arity).map(|_| self.int_expr(depth.saturating_sub(1))).collect();
+                format!("{name}({})", args.join(", "))
+            }
+            _ => format!("{}", self.rng.below(11) as i64 - 2),
+        }
+    }
+
+    fn ptr_expr(&mut self) -> String {
+        match self.rng.below(4) {
+            0 => "null".into(),
+            1 | 2 => "malloc(node)".into(),
+            _ if !self.ptrs.is_empty() => {
+                let i = self.rng.below(self.ptrs.len() as u64) as usize;
+                if self.rng.below(3) == 0 {
+                    format!("{}->next", self.ptrs[i])
+                } else {
+                    self.ptrs[i].clone()
+                }
+            }
+            _ => "malloc(node)".into(),
+        }
+    }
+
+    fn stmt(&mut self, depth: u32, indent: usize) {
+        let pad = "    ".repeat(indent);
+        match self.rng.below(12) {
+            0 | 1 => {
+                let name = self.fresh();
+                let e = self.int_expr(2);
+                self.out.push_str(&format!("{pad}var {name}: int = {e};\n"));
+                self.ints.push(name);
+            }
+            2 => {
+                let name = self.fresh();
+                let e = self.ptr_expr();
+                self.out.push_str(&format!("{pad}var {name}: ptr<node> = {e};\n"));
+                self.ptrs.push(name);
+            }
+            3 if !self.ints.is_empty() => {
+                let i = self.rng.below(self.ints.len() as u64) as usize;
+                let name = self.ints[i].clone();
+                let e = self.int_expr(2);
+                self.out.push_str(&format!("{pad}{name} = {e};\n"));
+            }
+            4 if !self.ptrs.is_empty() => {
+                let i = self.rng.below(self.ptrs.len() as u64) as usize;
+                let name = self.ptrs[i].clone();
+                let e = self.ptr_expr();
+                self.out.push_str(&format!("{pad}{name} = {e};\n"));
+            }
+            5 if !self.ptrs.is_empty() => {
+                let i = self.rng.below(self.ptrs.len() as u64) as usize;
+                let p = self.ptrs[i].clone();
+                if self.rng.below(2) == 0 {
+                    let e = self.int_expr(2);
+                    self.out.push_str(&format!("{pad}{p}->val = {e};\n"));
+                } else {
+                    let q = self.ptr_expr();
+                    self.out.push_str(&format!("{pad}{p}->next = {q};\n"));
+                }
+            }
+            6 if !self.ptrs.is_empty() => {
+                let i = self.rng.below(self.ptrs.len() as u64) as usize;
+                let p = self.ptrs[i].clone();
+                self.out.push_str(&format!("{pad}free({p});\n"));
+            }
+            7 if depth > 0 => {
+                let c = self.int_expr(1);
+                self.out.push_str(&format!("{pad}if ({c}) {{\n"));
+                self.scoped_block(depth - 1, indent + 1);
+                if self.rng.below(2) == 0 {
+                    self.out.push_str(&format!("{pad}}} else {{\n"));
+                    self.scoped_block(depth - 1, indent + 1);
+                }
+                self.out.push_str(&format!("{pad}}}\n"));
+            }
+            8 if depth > 0 => {
+                let counter = self.fresh();
+                let bound = 1 + self.rng.below(6);
+                self.out
+                    .push_str(&format!("{pad}var {counter}: int = 0;\n"));
+                self.out.push_str(&format!("{pad}while ({counter} < {bound}) {{\n"));
+                self.ints.push(counter.clone());
+                self.scoped_block(depth - 1, indent + 1);
+                self.out
+                    .push_str(&format!("{}{counter} = {counter} + 1;\n", "    ".repeat(indent + 1)));
+                self.out.push_str(&format!("{pad}}}\n"));
+            }
+            _ => {
+                let e = self.int_expr(2);
+                self.out.push_str(&format!("{pad}print({e});\n"));
+            }
+        }
+    }
+
+    /// A block whose declarations go out of scope at the closing brace
+    /// (the generator never reads a conditionally-declared name later, a
+    /// pattern on which the engines document divergence).
+    fn scoped_block(&mut self, depth: u32, indent: usize) {
+        let (ni, np) = (self.ints.len(), self.ptrs.len());
+        for _ in 0..1 + self.rng.below(3) {
+            self.stmt(depth, indent);
+        }
+        self.ints.truncate(ni);
+        self.ptrs.truncate(np);
+    }
+}
+
+fn random_program(seed: u64) -> String {
+    let mut g = Gen {
+        rng: TestRng::new(seed),
+        out: String::from("struct node { next: ptr<node>, val: int }\n"),
+        ints: Vec::new(),
+        ptrs: Vec::new(),
+        next_name: 0,
+        helpers: Vec::new(),
+    };
+    // A couple of int helpers main can call.
+    for h in 0..g.rng.below(3) {
+        let name = format!("h{h}");
+        let arity = 1 + g.rng.below(2) as usize;
+        let params: Vec<String> = (0..arity).map(|i| format!("a{i}: int")).collect();
+        g.out.push_str(&format!("fn {name}({}) -> int {{\n", params.join(", ")));
+        g.ints = (0..arity).map(|i| format!("a{i}")).collect();
+        g.ptrs.clear();
+        for _ in 0..1 + g.rng.below(4) {
+            g.stmt(1, 1);
+        }
+        let ret = g.int_expr(2);
+        g.out.push_str(&format!("    return {ret};\n}}\n"));
+        g.helpers.push((name, arity));
+    }
+    g.ints.clear();
+    g.ptrs.clear();
+    g.out.push_str("fn main() {\n");
+    for _ in 0..3 + g.rng.below(8) {
+        g.stmt(2, 1);
+    }
+    g.out.push_str("}\n");
+    g.out
+}
+
+// ---- differential tests ----------------------------------------------------
+
+#[test]
+fn random_programs_agree_on_native() {
+    for seed in 0..200 {
+        let src = random_program(seed);
+        let prog = parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        assert_agree(
+            &prog,
+            || Box::new(NativeBackend::new()),
+            FUEL,
+            &format!("seed {seed}\n{src}"),
+        );
+    }
+}
+
+#[test]
+fn random_programs_agree_pool_transformed_on_shadow_pool() {
+    // The pool transform threads pool parameters and inserts
+    // poolinit/pooldestroy — covering the pool-register instructions —
+    // and the shadow-pool backend turns dangling uses in the random
+    // programs into traps, which must fire identically (same error, same
+    // rendered report, same clock).
+    for seed in 0..60 {
+        let src = random_program(seed);
+        let (prog, _) = pool_allocate(&parse(&src).unwrap());
+        assert_agree(
+            &prog,
+            || Box::new(ShadowPoolBackend::new()),
+            FUEL,
+            &format!("seed {seed} (pooled)\n{src}"),
+        );
+    }
+}
+
+#[test]
+fn fuel_sweep_pins_exhaustion_point() {
+    // Every prefix of the burn sequence must exhaust at the same point
+    // with the same final clock: the coalesced per-instruction costs may
+    // never move a burn across a backend call or a loop boundary.
+    let src = "
+        struct node { next: ptr<node>, val: int }
+        fn sum(p: ptr<node>) -> int {
+            var s: int = 0;
+            while (p != null) { s = s + p->val; p = p->next; }
+            return s;
+        }
+        fn main() {
+            var head: ptr<node> = null;
+            var i: int = 0;
+            while (i < 4) {
+                var n: ptr<node> = malloc(node);
+                n->val = i * 3;
+                n->next = head;
+                head = n;
+                i = i + 1;
+            }
+            print(sum(head));
+        }";
+    let prog = parse(src).unwrap();
+    for fuel in 0..400 {
+        assert_agree(
+            &prog,
+            || Box::new(NativeBackend::new()),
+            fuel,
+            &format!("fuel {fuel}"),
+        );
+    }
+}
+
+#[test]
+fn malloc_array_and_indexing_agree() {
+    let src = "
+        struct cell { v: int, w: int }
+        fn main() {
+            var n: int = 6;
+            var a: ptr<cell> = malloc_array(cell, n);
+            var i: int = 0;
+            while (i < n) {
+                a[i]->v = i * i;
+                i = i + 1;
+            }
+            var s: int = 0;
+            i = 0;
+            while (i < n) {
+                s = s + a[i]->v;
+                i = i + 1;
+            }
+            print(s);
+            free(a);
+        }";
+    let prog = parse(src).unwrap();
+    assert_agree(&prog, || Box::new(NativeBackend::new()), FUEL, "array");
+    assert_agree(&prog, || Box::new(ShadowBackend::new()), FUEL, "array shadow");
+}
+
+#[test]
+fn runtime_error_programs_agree() {
+    // Value-dependent errors stay at run time in the bytecode engine and
+    // must fire at the same step with the same clock.
+    for (name, src) in [
+        ("div-zero", "fn main() { var d: int = 0; print(10 / d); }"),
+        ("rem-zero", "fn main() { var d: int = 0; print(10 % d); }"),
+        (
+            "null-deref",
+            "struct s { v: int } fn main() { var p: ptr<s> = null; print(p->v); }",
+        ),
+        (
+            "null-store",
+            "struct s { v: int } fn main() { var p: ptr<s> = null; p->v = 3; }",
+        ),
+        ("not-a-pointer", "struct s { v: int } fn f() -> ptr<s> { return null; } fn main() { var q: ptr<s> = null; q = f(); print(1); }"),
+        ("infinite-loop", "fn main() { while (1) { } }"),
+        (
+            "array-count-negative",
+            "struct s { v: int } fn main() { var n: int = 0 - 1; var a: ptr<s> = malloc_array(s, n); }",
+        ),
+    ] {
+        let prog = parse(src).unwrap();
+        assert_agree(&prog, || Box::new(NativeBackend::new()), 10_000, name);
+    }
+}
+
+#[test]
+fn server_corpus_agrees_under_every_backend() {
+    for (name, src) in [
+        ("fingerd", corpus::fingerd(6)),
+        ("ftpd", corpus::ftpd(4)),
+        ("ghttpd", corpus::ghttpd(6)),
+        ("keepalive", corpus::ghttpd_keepalive(3, 5)),
+        ("figure1-fixedish", FIGURE_1.to_string()),
+    ] {
+        let prog = parse(&src).unwrap();
+        assert_agree(
+            &prog,
+            || Box::new(NativeBackend::new()),
+            FUEL,
+            &format!("{name} native"),
+        );
+        assert_agree(
+            &prog,
+            || Box::new(ShadowBackend::new()),
+            FUEL,
+            &format!("{name} shadow"),
+        );
+        let (pooled, _) = pool_allocate(&prog);
+        assert_agree(
+            &pooled,
+            || Box::new(ShadowPoolBackend::new()),
+            FUEL,
+            &format!("{name} pooled shadow"),
+        );
+    }
+}
+
+#[test]
+fn injected_uaf_trap_reports_are_byte_identical() {
+    // The forensic deliverable: for every injected bug the detector's
+    // structured TrapReport — allocation site, free site, use site, the
+    // shadow call stacks frozen at each of the three events — must be
+    // byte-identical JSON between engines.
+    for (name, src) in corpus::injected_uafs() {
+        let prog = parse(src).unwrap();
+        let mut reports = Vec::new();
+        for bytecode in [false, true] {
+            let mut machine = Machine::free_running();
+            let mut backend = ShadowBackend::new();
+            let (res, clock) = {
+                let res = if bytecode {
+                    run_compiled(&compile(&prog).unwrap(), &mut machine, &mut backend, FUEL)
+                } else {
+                    run(&prog, &mut machine, &mut backend, FUEL)
+                };
+                let c = machine.clock();
+                (res, c)
+            };
+            let err = res.expect_err(name);
+            let RunError::Backend(dangle_interp::backend::BackendError::Trap {
+                trap, ..
+            }) = &err
+            else {
+                panic!("{name}: expected a trap, got {err}");
+            };
+            let report = backend
+                .detector()
+                .trap_report(&machine, trap, "minic")
+                .unwrap_or_else(|| panic!("{name}: trap not attributed"));
+            reports.push((format!("{err}"), clock, report.to_json().to_string()));
+        }
+        assert_eq!(reports[0], reports[1], "{name}: trap forensics diverge");
+    }
+}
+
+#[test]
+fn compile_error_surfaces_through_engine_selector() {
+    use dangle_interp::{run_with, Engine};
+    let prog = parse("fn main() { print(nope); }").unwrap();
+    let mut backend = NativeBackend::new();
+    let err = run_with(
+        Engine::Bytecode,
+        &prog,
+        &mut Machine::free_running(),
+        &mut backend,
+        FUEL,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, RunError::Compile(e) if e.message == "undefined variable `nope`"),
+        "{err}"
+    );
+    // The AST engine runs the same program up to the faulting read.
+    let err = run_with(
+        Engine::Ast,
+        &prog,
+        &mut Machine::free_running(),
+        &mut backend,
+        FUEL,
+    )
+    .unwrap_err();
+    assert_eq!(err, RunError::UndefinedVariable("nope".into()));
+}
+
+// ---- pinned disassembly ----------------------------------------------------
+
+#[test]
+fn figure_one_pooled_disassembly_is_pinned() {
+    // Full listing of the pool-transformed Figure 1 program. A diff here
+    // means the ISA, the slot-resolution rules or the cost coalescing
+    // changed — review it, then regenerate with
+    // `cargo run -p dangle-interp --example disasm`.
+    let (pooled, _) = pool_allocate(&parse(FIGURE_1).unwrap());
+    let listing = compile(&pooled).unwrap().disassemble();
+    assert_eq!(listing, include_str!("snapshots/figure1_pooled.disasm"));
+}
+
+#[test]
+fn keepalive_checksum_disassembly_is_pinned() {
+    // The benchmark's hot inner loop: the whole `acc = (acc*31 + i) %
+    // 65536` body must stay register-resident (no loads, no calls), with
+    // the loop carrying only two jumps — the shape the 10x host-throughput
+    // claim rests on.
+    let src = corpus::ghttpd_keepalive(2, 2);
+    let bc = compile(&parse(&src).unwrap()).unwrap();
+    let f = bc.funcs.iter().find(|f| f.name == "checksum").unwrap();
+    assert_eq!(f.disassemble(), include_str!("snapshots/keepalive_checksum.disasm"));
+}

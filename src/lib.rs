@@ -21,7 +21,9 @@
 //! * [`heap`] — the `malloc`-style system allocator underneath everything;
 //! * [`pool`] — the pool runtime with the shared page free list;
 //! * [`apa`] — the MiniC frontend and the pool-allocation transform;
-//! * [`interp`] — the MiniC interpreter and the per-scheme [`Backend`]s;
+//! * [`interp`] — the MiniC execution engines (AST reference interpreter
+//!   and the register-bytecode compiler + VM) and the per-scheme
+//!   [`Backend`]s;
 //! * [`core`] — **the paper's contribution**: [`ShadowHeap`],
 //!   [`ShadowPool`], diagnostics, the §3.4 mitigations;
 //! * [`baselines`] — Electric Fence, Valgrind-style, and capability-store
@@ -67,5 +69,8 @@ pub use dangle_vmm as vmm;
 pub use dangle_workloads as workloads;
 
 pub use dangle_core::{DanglingKind, DanglingReport, ShadowHeap, ShadowPool};
-pub use dangle_interp::{run, Backend, BackendError, RunError, RunOutcome};
+pub use dangle_interp::{
+    compile, run, run_compiled, run_with, Backend, BackendError, BcProgram, CompileError,
+    Engine, RunError, RunOutcome,
+};
 pub use dangle_vmm::{Machine, Protection, Trap, VirtAddr};
