@@ -1,0 +1,198 @@
+//! **shardperf** — multi-core scaling of the sharded detector.
+//!
+//! ```text
+//! cargo run --release -p dangle-bench --bin shardperf
+//! ```
+//!
+//! Sweeps cores ∈ {1, 2, 4, 8} over the concurrent keep-alive ghttpd mix
+//! (`dangle-workloads::concurrent`), one detector shard per core, and
+//! reports sessions/sec against the parallel wall-clock — the *maximum*
+//! per-core cycle count, since the slowest core finishes last. Each row
+//! decomposes every core's clock into syscall cycles (including TLB
+//! shootdown IPIs), TLB/L1 penalty cycles, and plain work, plus the
+//! machine-wide shootdown count — the coherence tax the sharded design
+//! pays for mutating shared mappings.
+//!
+//! Asserted on every run:
+//!
+//! * checksums identical across all core counts (scheduling never changes
+//!   program semantics);
+//! * the normalized injected-UAF detection records are **byte-identical**
+//!   across the swept core counts — detection is interleaving-invariant;
+//! * sessions/sec at 8 cores is at least **3x** the single-core figure.
+//!
+//! `SHARDPERF_QUICK=1` shrinks the mix for CI smoke runs. The artifact is
+//! `BENCH_shardperf.json`.
+
+use dangle_bench::{render_table, Artifact};
+use dangle_interp::backend::ShardedPoolBackend;
+use dangle_telemetry::Json;
+use dangle_vmm::{Machine, MachineConfig};
+use dangle_workloads::concurrent::{ConcurrentMix, ConcurrentReport};
+
+const CORE_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    cores: usize,
+    report: ConcurrentReport,
+    wall: u64,
+    shootdown_ipis: u64,
+    total_syscalls: u64,
+    per_core: Vec<Json>,
+}
+
+fn run(cores: usize, mix: &ConcurrentMix) -> Row {
+    let mut machine = Machine::with_config(MachineConfig {
+        cores,
+        ..MachineConfig::default()
+    });
+    let mut backend = ShardedPoolBackend::new(cores);
+    let report = mix.run(&mut machine, &mut backend).expect("concurrent mix");
+    let per_core = (0..cores)
+        .map(|c| {
+            let r = machine.core_report(c);
+            Json::Obj(vec![
+                ("core".into(), Json::from_u64(c as u64)),
+                ("clock".into(), Json::from_u64(r.clock)),
+                ("syscall_cycles".into(), Json::from_u64(r.syscall_cycles)),
+                ("penalty_cycles".into(), Json::from_u64(r.penalty_cycles)),
+                (
+                    "plain_cycles".into(),
+                    Json::from_u64(r.clock - r.syscall_cycles - r.penalty_cycles),
+                ),
+                ("tlb_hits".into(), Json::from_u64(r.tlb_hits)),
+                ("tlb_misses".into(), Json::from_u64(r.tlb_misses)),
+            ])
+        })
+        .collect();
+    Row {
+        cores,
+        report,
+        wall: machine.max_core_clock(),
+        shootdown_ipis: machine.stats().shootdown_ipis,
+        total_syscalls: machine.stats().total_syscalls(),
+        per_core,
+    }
+}
+
+/// Sessions completed per second of simulated wall-clock, at 1 GHz.
+fn sessions_per_sec(sessions: usize, wall: u64) -> f64 {
+    sessions as f64 * 1e9 / wall.max(1) as f64
+}
+
+fn detections_json(report: &ConcurrentReport) -> String {
+    let items: Vec<Json> = report
+        .detections
+        .iter()
+        .map(|d| {
+            Json::Obj(vec![
+                ("session".into(), Json::from_u64(d.session as u64)),
+                ("kind".into(), Json::Str(d.kind.to_string())),
+                ("bytes".into(), Json::from_u64(d.bytes as u64)),
+            ])
+        })
+        .collect();
+    Json::Arr(items).to_string()
+}
+
+fn main() {
+    let quick = std::env::var("SHARDPERF_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mix = if quick {
+        ConcurrentMix {
+            sessions: 160,
+            requests_per_session: 6,
+            response_bytes: 2_000,
+            injected_uafs: 8,
+            seed: 1,
+            ghttpd_only: true,
+        }
+    } else {
+        ConcurrentMix {
+            sessions: 2_000,
+            requests_per_session: 12,
+            response_bytes: 4_000,
+            injected_uafs: 32,
+            seed: 1,
+            ghttpd_only: true,
+        }
+    };
+
+    let rows: Vec<Row> = CORE_SWEEP.iter().map(|&c| run(c, &mix)).collect();
+    let base = &rows[0];
+    let base_rate = sessions_per_sec(mix.sessions, base.wall);
+    let base_detections = detections_json(&base.report);
+
+    let header = [
+        "cores",
+        "wall Mcycles",
+        "sessions/sec",
+        "speedup",
+        "shootdown IPIs",
+        "syscalls",
+        "detections",
+    ];
+    let mut table = Vec::new();
+    let mut artifact_rows = Vec::new();
+    for row in &rows {
+        let rate = sessions_per_sec(mix.sessions, row.wall);
+        let speedup = rate / base_rate;
+        assert_eq!(
+            row.report.checksum, base.report.checksum,
+            "{} cores: checksum moved",
+            row.cores
+        );
+        assert_eq!(
+            detections_json(&row.report),
+            base_detections,
+            "{} cores: detection records diverge from the single-core run",
+            row.cores
+        );
+        table.push(vec![
+            row.cores.to_string(),
+            format!("{:.1}", row.wall as f64 / 1e6),
+            format!("{rate:.0}"),
+            format!("{speedup:.2}x"),
+            row.shootdown_ipis.to_string(),
+            row.total_syscalls.to_string(),
+            row.report.detections.len().to_string(),
+        ]);
+        artifact_rows.push(Json::Obj(vec![
+            ("cores".into(), Json::from_u64(row.cores as u64)),
+            ("wall_cycles".into(), Json::from_u64(row.wall)),
+            ("sessions_per_sec".into(), Json::Float(rate)),
+            ("speedup".into(), Json::Float(speedup)),
+            ("shootdown_ipis".into(), Json::from_u64(row.shootdown_ipis)),
+            ("total_syscalls".into(), Json::from_u64(row.total_syscalls)),
+            ("quanta".into(), Json::from_u64(row.report.quanta)),
+            ("detections".into(), Json::from_u64(row.report.detections.len() as u64)),
+            ("per_core".into(), Json::Arr(row.per_core.clone())),
+        ]));
+    }
+
+    let final_speedup =
+        sessions_per_sec(mix.sessions, rows.last().expect("sweep").wall) / base_rate;
+    println!("shardperf: sharded-detector scaling over the keep-alive ghttpd mix\n");
+    println!("{}", render_table(&header, &table));
+    println!(
+        "speedup at {} cores: {final_speedup:.2}x ({} sessions, seed {})",
+        rows.last().expect("sweep").cores,
+        mix.sessions,
+        mix.seed
+    );
+    println!("(normalized detection records byte-identical across the sweep.)");
+
+    assert!(
+        final_speedup >= 3.0,
+        "sharded detector must scale at least 3x from 1 to 8 cores: {final_speedup:.2}x"
+    );
+
+    let mut artifact = Artifact::new("shardperf");
+    artifact.set("quick", Json::Bool(quick));
+    artifact.set("sessions", Json::from_u64(mix.sessions as u64));
+    artifact.set("injected_uafs", Json::from_u64(mix.injected_uafs as u64));
+    artifact.set("rows", Json::Arr(artifact_rows));
+    artifact.set("speedup_8_cores", Json::Float(final_speedup));
+    artifact.set("detections_identical", Json::Bool(true));
+    artifact.set("detections", Json::Str(base_detections));
+    artifact.write_cwd().expect("write BENCH artifact");
+}

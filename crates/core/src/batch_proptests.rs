@@ -19,27 +19,7 @@ use dangle_heap::{Allocator, SysHeap};
 use dangle_pool::PoolConfig;
 use dangle_vmm::{CostModel, Machine, MachineConfig, VirtAddr};
 
-/// Deterministic xorshift64* generator (offline build: no proptest).
-struct TestRng(u64);
-
-impl TestRng {
-    fn new(seed: u64) -> TestRng {
-        TestRng(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-}
+use dangle_testkit::SeededRng as TestRng;
 
 /// Calibrated costs minus the cache/TLB components: the two runs place
 /// shadow pages at different virtual addresses, so set-index noise would

@@ -34,6 +34,7 @@ pub mod exhaustion;
 pub mod gc;
 pub mod pool_shadow;
 pub mod shadow;
+pub mod sharded;
 
 #[cfg(feature = "os")]
 pub mod os;
@@ -42,6 +43,7 @@ pub use diag::{DanglingKind, DanglingReport, ObjectRecord, ObjectState, SiteId, 
 pub use gc::GcReport;
 pub use pool_shadow::{FreedSpan, ShadowPool};
 pub use shadow::{BatchConfig, ShadowConfig, ShadowHeap, SHADOW_WORD};
+pub use sharded::{EpochFreeList, ShardedShadowPool};
 
 #[cfg(test)]
 mod batch_proptests;

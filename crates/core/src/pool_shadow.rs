@@ -567,6 +567,22 @@ impl ShadowPool {
         &self.pools
     }
 
+    /// Takes up to `max` contiguous recycled pages off this detector's
+    /// shared free list without mapping them, so a sharded composition
+    /// (see [`crate::sharded`]) can retire the surplus into a cross-shard
+    /// epoch free list. `None` when the list is empty or reuse is off.
+    pub fn export_free_run(&mut self, max: usize) -> Option<(PageNum, usize)> {
+        self.pools.take_free_run_capped(max)
+    }
+
+    /// Adds a run of recycled pages — exported from another shard and held
+    /// until an epoch grace period passed — to this detector's free list.
+    /// The pages must have been handed out by the same [`Machine`] so a
+    /// later `mmap_fixed` recycling them is legal.
+    pub fn adopt_free_run(&mut self, base: PageNum, pages: usize) {
+        self.pools.donate_run(base, pages as u32);
+    }
+
     /// Records a dynamic pool points-to edge (see
     /// [`PoolSet::note_pool_edge`]).
     pub fn note_pool_edge(&mut self, from: PoolId, to: PoolId) {

@@ -326,7 +326,7 @@ mod tests {
 #[cfg(test)]
 mod randomized {
     use super::*;
-    use crate::test_rng::TestRng;
+    use dangle_testkit::SeededRng as TestRng;
 
     /// Random traffic never overlaps live blocks, preserves data, and frees
     /// always coalesce back to a fully usable arena.

@@ -20,12 +20,12 @@
 //! same way real allocator work costs real cycles — this matters for the
 //! allocation-intensive Olden numbers (Table 3).
 
+pub mod arena;
 pub mod buddy;
 pub mod header;
 pub mod sys;
-#[cfg(test)]
-pub(crate) mod test_rng;
 
+pub use arena::ArenaHeap;
 pub use buddy::BuddyHeap;
 pub use sys::SysHeap;
 

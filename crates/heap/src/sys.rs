@@ -340,7 +340,7 @@ mod tests {
 #[cfg(test)]
 mod randomized {
     use super::*;
-    use crate::test_rng::TestRng;
+    use dangle_testkit::SeededRng as TestRng;
 
     /// Under any alloc/free sequence: live allocations never overlap, each
     /// carries its pattern intact, and stats stay consistent.

@@ -12,14 +12,16 @@
 //! | [`PoolBackend`] | Automatic Pool Allocation only | PA |
 //! | [`PoolBackend::with_dummy_syscalls`] | PA + no-op kernel crossings | PA + dummy syscalls |
 //! | [`ShadowPoolBackend`] | **the paper's approach** | Our approach |
+//! | [`ShardedPoolBackend`] | the approach sharded per core | — (multi-core) |
+//! | [`ArenaBackend`] | per-core `malloc` arenas, no detector | — (multi-core native) |
 //! | [`ShadowBackend`] | Insight 1 only (no pools, no VA reuse) | — (debug mode) |
 //! | [`EFenceBackend`] | Electric Fence | §5.3 comparison |
 //! | [`MemcheckBackend`] | Valgrind-style | Table 2 |
 //! | [`CapabilityBackend`] | SafeC/Xu-style | §5.2 comparison |
 
 use dangle_baselines::{CapabilityChecker, CheckError, CheckedMemory, EFence, Memcheck};
-use dangle_core::{BatchConfig, ShadowConfig, ShadowHeap, ShadowPool};
-use dangle_heap::{AllocError, Allocator, SysHeap};
+use dangle_core::{BatchConfig, ShadowConfig, ShadowHeap, ShadowPool, ShardedShadowPool};
+use dangle_heap::{AllocError, Allocator, ArenaHeap, SysHeap};
 use dangle_pool::{PoolError, PoolId, PoolSet};
 use dangle_telemetry::EventKind;
 use dangle_vmm::{Machine, Trap, VirtAddr};
@@ -834,6 +836,244 @@ impl Backend for ShadowPoolBackend {
     fn explain(&self, trap: &Trap) -> Option<String> {
         self.detector.explain(trap).map(|r| r.render(self.detector.sites()))
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded shadow pool (the full approach, one detector shard per core).
+// ---------------------------------------------------------------------
+
+/// The paper's approach sharded across the machine's cores: pools are
+/// owned by the shard of the creating core, traps are explained by
+/// page-range ownership, and destroyed pages cross shards through an
+/// epoch-based free list (see [`dangle_core::sharded`]). With one shard
+/// on a one-core machine this is byte-identical to [`ShadowPoolBackend`].
+#[derive(Debug)]
+pub struct ShardedPoolBackend {
+    detector: ShardedShadowPool,
+    global_pool: Option<PoolId>,
+}
+
+impl ShardedPoolBackend {
+    /// Creates the backend with `shards` detector shards.
+    pub fn new(shards: usize) -> ShardedPoolBackend {
+        ShardedPoolBackend { detector: ShardedShadowPool::new(shards), global_pool: None }
+    }
+
+    /// Creates the backend with vectored-syscall batching in every shard.
+    pub fn with_batching(shards: usize, batch: BatchConfig) -> ShardedPoolBackend {
+        ShardedPoolBackend {
+            detector: ShardedShadowPool::with_batch(
+                shards,
+                dangle_pool::PoolConfig::default(),
+                batch,
+            ),
+            global_pool: None,
+        }
+    }
+
+    /// The sharded detector (for diagnostics and stats).
+    pub fn detector(&self) -> &ShardedShadowPool {
+        &self.detector
+    }
+
+    fn pool_or_global(&mut self, machine: &Machine, pool: Option<PoolHandle>) -> PoolId {
+        match pool {
+            Some(h) => PoolId(h),
+            None => {
+                if self.global_pool.is_none() {
+                    self.global_pool = Some(self.detector.create(machine, 0));
+                }
+                self.global_pool.expect("just created")
+            }
+        }
+    }
+}
+
+impl Backend for ShardedPoolBackend {
+    fn name(&self) -> &'static str {
+        "sharded-pool"
+    }
+
+    fn alloc(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+        pool: Option<PoolHandle>,
+    ) -> Result<VirtAddr, BackendError> {
+        let p = self.pool_or_global(machine, pool);
+        self.detector.alloc(machine, p, size).map_err(from_pool)
+    }
+
+    fn free(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        pool: Option<PoolHandle>,
+    ) -> Result<(), BackendError> {
+        let p = self.pool_or_global(machine, pool);
+        self.detector.free(machine, p, addr).map_err(|e| match e {
+            PoolError::Alloc(AllocError::Trap(trap)) => BackendError::Trap {
+                trap,
+                report: self.detector.render_last_report(),
+            },
+            other => from_pool(other),
+        })
+    }
+
+    fn alloc_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+        pool: Option<PoolHandle>,
+    ) -> Result<VirtAddr, BackendError> {
+        let p = self.pool_or_global(machine, pool);
+        self.detector.alloc_unchecked(machine, p, size).map_err(from_pool)
+    }
+
+    fn free_unchecked(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        pool: Option<PoolHandle>,
+    ) -> Result<(), BackendError> {
+        let p = self.pool_or_global(machine, pool);
+        self.detector.free_unchecked(machine, p, addr).map_err(from_pool)
+    }
+
+    fn pool_create(
+        &mut self,
+        machine: &mut Machine,
+        elem_hint: usize,
+    ) -> Result<PoolHandle, BackendError> {
+        machine.note_event(VirtAddr::NULL, EventKind::PoolCreate);
+        Ok(self.detector.create(machine, elem_hint).0)
+    }
+
+    fn pool_destroy(
+        &mut self,
+        machine: &mut Machine,
+        pool: PoolHandle,
+    ) -> Result<(), BackendError> {
+        self.detector.destroy(machine, PoolId(pool)).map_err(from_pool)
+    }
+
+    fn load(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        width: usize,
+    ) -> Result<u64, BackendError> {
+        machine.load(addr, width).map_err(|t| BackendError::Trap {
+            report: self.explain(&t),
+            trap: t,
+        })
+    }
+
+    fn store(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        width: usize,
+        value: u64,
+    ) -> Result<(), BackendError> {
+        machine.store(addr, width, value).map_err(|t| BackendError::Trap {
+            report: self.explain(&t),
+            trap: t,
+        })
+    }
+
+    mmu_bulk_ops!(explained);
+
+    fn explain(&self, trap: &Trap) -> Option<String> {
+        self.detector.explain_rendered(trap)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-core native arenas (multi-core baseline).
+// ---------------------------------------------------------------------
+
+/// Plain `malloc` over per-core arenas ([`ArenaHeap`]): the undetected
+/// multi-core baseline the sharded detector's overhead is measured
+/// against. With one arena this is cycle-identical to [`NativeBackend`].
+#[derive(Debug)]
+pub struct ArenaBackend {
+    heap: ArenaHeap,
+}
+
+impl ArenaBackend {
+    /// Creates the backend with `arenas` per-core arenas.
+    pub fn new(arenas: usize) -> ArenaBackend {
+        ArenaBackend { heap: ArenaHeap::new(arenas) }
+    }
+
+    /// The underlying heap (for stats).
+    pub fn heap(&self) -> &ArenaHeap {
+        &self.heap
+    }
+}
+
+impl Backend for ArenaBackend {
+    fn name(&self) -> &'static str {
+        "arena"
+    }
+
+    fn alloc(
+        &mut self,
+        machine: &mut Machine,
+        size: usize,
+        _pool: Option<PoolHandle>,
+    ) -> Result<VirtAddr, BackendError> {
+        self.heap.alloc(machine, size).map_err(from_alloc)
+    }
+
+    fn free(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        _pool: Option<PoolHandle>,
+    ) -> Result<(), BackendError> {
+        self.heap.free(machine, addr).map_err(from_alloc)
+    }
+
+    fn pool_create(
+        &mut self,
+        _machine: &mut Machine,
+        _elem_hint: usize,
+    ) -> Result<PoolHandle, BackendError> {
+        Ok(0)
+    }
+
+    fn pool_destroy(
+        &mut self,
+        _machine: &mut Machine,
+        _pool: PoolHandle,
+    ) -> Result<(), BackendError> {
+        Ok(())
+    }
+
+    fn load(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        width: usize,
+    ) -> Result<u64, BackendError> {
+        machine.load(addr, width).map_err(|t| BackendError::Trap { trap: t, report: None })
+    }
+
+    fn store(
+        &mut self,
+        machine: &mut Machine,
+        addr: VirtAddr,
+        width: usize,
+        value: u64,
+    ) -> Result<(), BackendError> {
+        machine
+            .store(addr, width, value)
+            .map_err(|t| BackendError::Trap { trap: t, report: None })
+    }
+
+    mmu_bulk_ops!(plain);
 }
 
 // ---------------------------------------------------------------------

@@ -560,6 +560,14 @@ impl PoolSet {
         self.release_run(page, 1);
     }
 
+    /// Pushes a whole run of `pages` contiguous pages starting at `base`
+    /// onto the shared free list, coalescing with neighbours. Used by the
+    /// sharded detector to adopt runs retired by *another* shard once an
+    /// epoch grace period has passed.
+    pub fn donate_run(&mut self, base: PageNum, pages: u32) {
+        self.release_run(base, pages);
+    }
+
     /// Records that an object in `from` was observed to hold a pointer into
     /// `to` (dynamic pool points-to graph, §3.4).
     pub fn note_pool_edge(&mut self, from: PoolId, to: PoolId) {
@@ -1017,27 +1025,7 @@ mod tests {
 mod randomized {
     use super::*;
 
-    /// Deterministic xorshift64* generator (offline build: no proptest).
-    struct TestRng(u64);
-
-    impl TestRng {
-        fn new(seed: u64) -> TestRng {
-            TestRng(seed.max(1))
-        }
-
-        fn next(&mut self) -> u64 {
-            let mut x = self.0;
-            x ^= x >> 12;
-            x ^= x << 25;
-            x ^= x >> 27;
-            self.0 = x;
-            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-        }
-
-        fn below(&mut self, n: u64) -> u64 {
-            self.next() % n.max(1)
-        }
-    }
+    use dangle_testkit::SeededRng as TestRng;
 
     enum Op {
         Create,

@@ -45,6 +45,13 @@ pub struct CostModel {
     pub syscall_dummy: u64,
     /// Cost of zeroing one fresh page when it is first handed out.
     pub page_zero: u64,
+    /// Sending one cross-core TLB-shootdown IPI (charged to the
+    /// *initiating* core, once per remote core, when a mapping-mutating
+    /// syscall runs on a multi-core machine). Zero-cost on one core.
+    pub ipi_send: u64,
+    /// Servicing a received shootdown IPI (charged to each *remote*
+    /// core's clock: interrupt entry, local TLB invalidation, exit).
+    pub ipi_recv: u64,
 }
 
 impl CostModel {
@@ -62,6 +69,8 @@ impl CostModel {
             syscall_per_range: 120,
             syscall_dummy: 1000,
             page_zero: 256,
+            ipi_send: 300,
+            ipi_recv: 450,
         }
     }
 
@@ -80,6 +89,8 @@ impl CostModel {
             syscall_per_range: 0,
             syscall_dummy: 0,
             page_zero: 0,
+            ipi_send: 0,
+            ipi_recv: 0,
         }
     }
 }

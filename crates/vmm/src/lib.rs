@@ -66,7 +66,7 @@ pub mod trap;
 pub use addr::{PageNum, VirtAddr, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
 pub use cache::{CacheConfig, L1Cache};
 pub use cost::CostModel;
-pub use machine::{AccessKind, Machine, MachineConfig, Protection};
+pub use machine::{AccessKind, CoreReport, Machine, MachineConfig, Protection};
 pub use pagetable::PageTableImpl;
 pub use stats::MachineStats;
 pub use tlb::{Tlb, TlbConfig};

@@ -95,6 +95,12 @@ pub struct MachineConfig {
     /// pure host-performance knob — simulated costs, traps and stats are
     /// identical across variants (enforced by differential tests).
     pub page_table: PageTableImpl,
+    /// Number of simulated cores. Each core has its own clock, TLB, L1
+    /// cache and last-translation cache over the *shared* page table;
+    /// mapping-mutating syscalls shoot down every remote core's TLB at a
+    /// modelled IPI cost. Default 1, which behaves byte-identically to
+    /// the historical single-core machine.
+    pub cores: usize,
 }
 
 impl Default for MachineConfig {
@@ -107,6 +113,7 @@ impl Default for MachineConfig {
             virt_pages: 1 << 35,
             telemetry: TelemetryConfig::default(),
             page_table: PageTableImpl::default(),
+            cores: 1,
         }
     }
 }
@@ -134,12 +141,16 @@ impl FrameSlab {
     }
 }
 
-/// The simulated machine. See the [module docs](self) for the design.
+/// Per-core simulated state: the clock, the TLB (whose last-hit memo is
+/// therefore also per-core), the L1 data cache, and the one-entry
+/// last-translation cache. Everything else — the page table, the frame
+/// slab, the VA bump allocator, stats and telemetry — is shared across
+/// cores, exactly as page tables and RAM are shared on an SMP machine.
 #[derive(Debug)]
-pub struct Machine {
-    config: MachineConfig,
-    slab: FrameSlab,
-    page_table: PageTable,
+struct Core {
+    clock: u64,
+    tlb: Tlb,
+    cache: L1Cache,
     /// One-entry last-translation cache sitting between the *modelled*
     /// TLB and the page-table walk: `ltc_vpn == u64::MAX` means empty.
     /// Only populated under [`PageTableImpl::Radix`], so the `Reference`
@@ -148,14 +159,58 @@ pub struct Machine {
     /// charged) on every access.
     ltc_vpn: u64,
     ltc_entry: Entry,
+    /// Cycles this core spent in kernel crossings (syscall charges plus
+    /// received shootdown IPIs) and in TLB/L1 miss penalties — the
+    /// per-core decomposition the `shardperf` artifact reports.
+    syscall_cycles: u64,
+    penalty_cycles: u64,
+}
+
+impl Core {
+    fn new(config: &MachineConfig) -> Core {
+        Core {
+            clock: 0,
+            tlb: Tlb::new(config.tlb),
+            cache: L1Cache::new(config.cache),
+            ltc_vpn: u64::MAX,
+            ltc_entry: Entry { frame: 0, prot: Protection::None },
+            syscall_cycles: 0,
+            penalty_cycles: 0,
+        }
+    }
+}
+
+/// A read-only snapshot of one core's clock and decomposition counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreReport {
+    /// The core's simulated clock.
+    pub clock: u64,
+    /// Cycles spent in kernel crossings (incl. received shootdown IPIs).
+    pub syscall_cycles: u64,
+    /// Cycles spent in TLB and L1 miss penalties.
+    pub penalty_cycles: u64,
+    /// TLB hits / misses on this core.
+    pub tlb_hits: u64,
+    /// TLB misses on this core.
+    pub tlb_misses: u64,
+}
+
+/// The simulated machine. See the [module docs](self) for the design.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    slab: FrameSlab,
+    page_table: PageTable,
     ltc_enabled: bool,
     /// Next virtual page number to hand out; starts above a guard region so
     /// that null and near-null pointers always trap.
     next_vpn: u64,
     first_vpn: u64,
-    tlb: Tlb,
-    cache: L1Cache,
-    clock: u64,
+    /// The simulated cores (always at least one). `active` selects the
+    /// core whose clock/TLB/L1/LTC the access path uses; the workload
+    /// scheduler switches it between sessions.
+    cores: Vec<Core>,
+    active: usize,
     stats: MachineStats,
     telemetry: Telemetry,
     /// Cached `telemetry.tracing()`: every clock advance branches on this,
@@ -176,23 +231,24 @@ impl Machine {
     }
 
     /// Creates a machine with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `config.cores` is zero.
     pub fn with_config(config: MachineConfig) -> Machine {
+        assert!(config.cores >= 1, "a machine needs at least one core");
         let first_vpn = 16; // pages 0..16 form a trapping guard region
         Machine {
-            config,
             slab: FrameSlab::default(),
             page_table: PageTable::new(config.page_table),
-            ltc_vpn: u64::MAX,
-            ltc_entry: Entry { frame: 0, prot: Protection::None },
             ltc_enabled: config.page_table == PageTableImpl::Radix,
             next_vpn: first_vpn,
             first_vpn,
-            tlb: Tlb::new(config.tlb),
-            cache: L1Cache::new(config.cache),
-            clock: 0,
+            cores: (0..config.cores).map(|_| Core::new(&config)).collect(),
+            active: 0,
             stats: MachineStats::default(),
             telemetry: Telemetry::new(config.telemetry),
             trace: config.telemetry.enabled && config.telemetry.tracing,
+            config,
         }
     }
 
@@ -203,23 +259,105 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
-    // Clock and stats.
+    // Clock, cores and stats.
     // ------------------------------------------------------------------
 
-    /// Current simulated cycle count.
+    /// Current simulated cycle count of the **active core**. On a
+    /// single-core machine this is "the" clock; with several cores, see
+    /// [`Machine::max_core_clock`] for the wall-clock of a parallel run.
     pub fn clock(&self) -> u64 {
-        self.clock
+        self.cores[self.active].clock
+    }
+
+    /// Number of simulated cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Index of the active core (the one accesses and syscalls run on).
+    pub fn active_core(&self) -> usize {
+        self.active
+    }
+
+    /// Selects the core subsequent accesses and syscalls run on. Free of
+    /// simulated cost: the workload scheduler is the "OS", and its
+    /// context-switch budget is modelled at the workload layer.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn switch_core(&mut self, core: usize) {
+        assert!(core < self.cores.len(), "core {core} out of range");
+        self.active = core;
+    }
+
+    /// The simulated clock of core `core`.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn core_clock(&self, core: usize) -> u64 {
+        self.cores[core].clock
+    }
+
+    /// The maximum clock across all cores — the simulated wall-clock time
+    /// of a parallel run (cores run concurrently; the run is over when the
+    /// last one finishes).
+    pub fn max_core_clock(&self) -> u64 {
+        self.cores.iter().map(|c| c.clock).max().unwrap_or(0)
+    }
+
+    /// Clock and decomposition counters for core `core`.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn core_report(&self, core: usize) -> CoreReport {
+        let c = &self.cores[core];
+        CoreReport {
+            clock: c.clock,
+            syscall_cycles: c.syscall_cycles,
+            penalty_cycles: c.penalty_cycles,
+            tlb_hits: c.tlb.hits(),
+            tlb_misses: c.tlb.misses(),
+        }
     }
 
     /// The single clock funnel: **every** simulated-cycle charge in the
-    /// machine routes through here, so the flight recorder's attribution
-    /// table sums to the clock exactly (±0). Tracing never adds simulated
-    /// cycles — the charge call is host-side bookkeeping only.
+    /// machine routes through here (remote shootdown-IPI service time is
+    /// the one exception — it lands directly on the *remote* core's
+    /// clock), so on a single-core machine the flight recorder's
+    /// attribution table sums to the clock exactly (±0). Tracing never
+    /// adds simulated cycles — the charge call is host-side bookkeeping
+    /// only.
     #[inline]
     fn advance(&mut self, cycles: u64, charge: Charge) {
-        self.clock += cycles;
+        let core = &mut self.cores[self.active];
+        core.clock += cycles;
+        match charge {
+            Charge::Syscall => core.syscall_cycles += cycles,
+            Charge::TlbPenalty => core.penalty_cycles += cycles,
+            Charge::Plain => {}
+        }
         if self.trace {
             self.telemetry.charge(cycles, charge);
+        }
+    }
+
+    /// Models the TLB-shootdown round a mapping-mutating syscall performs
+    /// on an SMP machine: the initiating (active) core pays one IPI-send
+    /// charge per remote core, and every remote core's clock absorbs the
+    /// interrupt-service cost. A strict no-op on a single-core machine,
+    /// which keeps `cores = 1` byte-identical to the historical model.
+    fn charge_shootdown(&mut self) {
+        let n = self.cores.len();
+        if n <= 1 {
+            return;
+        }
+        self.stats.shootdown_ipis += (n - 1) as u64;
+        self.advance(self.config.cost.ipi_send * (n - 1) as u64, Charge::Syscall);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if i != self.active {
+                core.clock += self.config.cost.ipi_recv;
+                core.syscall_cycles += self.config.cost.ipi_recv;
+            }
         }
     }
 
@@ -237,7 +375,7 @@ impl Machine {
     /// branch when tracing is off.
     pub fn span_enter(&mut self, name: &str, category: Category) {
         if self.trace {
-            let clock = self.clock;
+            let clock = self.clock();
             self.telemetry.span_enter(name, category, clock);
         }
     }
@@ -246,7 +384,7 @@ impl Machine {
     /// duration in simulated cycles (`None` when tracing is off).
     pub fn span_exit(&mut self) -> Option<u64> {
         if self.trace {
-            let clock = self.clock;
+            let clock = self.clock();
             self.telemetry.span_exit(clock)
         } else {
             None
@@ -258,14 +396,19 @@ impl Machine {
         &self.stats
     }
 
-    /// TLB hit/miss counters.
+    /// TLB hit/miss counters of the active core.
     pub fn tlb(&self) -> &Tlb {
-        &self.tlb
+        &self.cores[self.active].tlb
     }
 
-    /// L1 cache hit/miss counters.
+    /// L1 cache hit/miss counters of the active core.
     pub fn cache(&self) -> &L1Cache {
-        &self.cache
+        &self.cores[self.active].cache
+    }
+
+    /// Total TLB hits and misses summed across all cores.
+    pub fn tlb_totals(&self) -> (u64, u64) {
+        self.cores.iter().fold((0, 0), |(h, m), c| (h + c.tlb.hits(), m + c.tlb.misses()))
     }
 
     /// The machine configuration.
@@ -288,7 +431,8 @@ impl Machine {
     /// clock. Convenience over `telemetry_mut().record(..)` so callers
     /// don't have to juggle the clock borrow.
     pub fn note_event(&mut self, addr: VirtAddr, kind: EventKind) {
-        self.telemetry.record(self.clock, addr.raw(), kind);
+        let clock = self.clock();
+        self.telemetry.record(clock, addr.raw(), kind);
     }
 
     /// A point-in-time snapshot of every telemetry series, extended with
@@ -299,9 +443,10 @@ impl Machine {
     /// than registry counters.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.telemetry.snapshot();
+        let (tlb_hits, tlb_misses) = self.tlb_totals();
         let derived = [
-            ("vmm.tlb_hits", self.tlb.hits()),
-            ("vmm.tlb_misses", self.tlb.misses()),
+            ("vmm.tlb_hits", tlb_hits),
+            ("vmm.tlb_misses", tlb_misses),
             ("vmm.loads", self.stats.loads),
             ("vmm.stores", self.stats.stores),
             ("vmm.traps", self.stats.traps),
@@ -312,6 +457,18 @@ impl Machine {
         ];
         for (name, value) in derived {
             snap.counters.push((name.to_string(), value));
+        }
+        // Per-core labels only appear on a multi-core machine, so every
+        // historical single-core snapshot stays byte-identical.
+        if self.cores.len() > 1 {
+            snap.counters.push(("vmm.shootdown_ipis".to_string(), self.stats.shootdown_ipis));
+            for (i, core) in self.cores.iter().enumerate() {
+                snap.counters.push((format!("vmm.core{i}.clock"), core.clock));
+                snap.counters.push((format!("vmm.core{i}.syscall_cycles"), core.syscall_cycles));
+                snap.counters.push((format!("vmm.core{i}.penalty_cycles"), core.penalty_cycles));
+                snap.counters.push((format!("vmm.core{i}.tlb_hits"), core.tlb.hits()));
+                snap.counters.push((format!("vmm.core{i}.tlb_misses"), core.tlb.misses()));
+            }
         }
         // Ring health: capacity plus events lost to overwriting, so
         // truncated trap context is detectable from any snapshot.
@@ -385,11 +542,25 @@ impl Machine {
         Ok(base)
     }
 
-    /// Drops the last-translation cache. Must be called on *every*
-    /// page-table mutation so a stale entry can never be served.
+    /// Drops every core's last-translation cache. Must be called on
+    /// *every* page-table mutation so a stale entry can never be served
+    /// — on any core: the page table is shared, so a mutation initiated
+    /// on one core invalidates cached translations everywhere.
     #[inline]
     fn ltc_invalidate(&mut self) {
-        self.ltc_vpn = u64::MAX;
+        for core in &mut self.cores {
+            core.ltc_vpn = u64::MAX;
+        }
+    }
+
+    /// Invalidates `vpn` in every core's TLB (the functional half of a
+    /// TLB shootdown; the cycle cost is modelled once per syscall by
+    /// [`Machine::charge_shootdown`]).
+    #[inline]
+    fn tlb_invalidate_all(&mut self, vpn: u64) {
+        for core in &mut self.cores {
+            core.tlb.invalidate(vpn);
+        }
     }
 
     fn map_vpn(&mut self, vpn: u64, frame: u32, prot: Protection) {
@@ -397,7 +568,7 @@ impl Machine {
         let prev = self.page_table.insert(vpn, Entry { frame, prot });
         if let Some(old) = prev {
             self.decref_frame(old.frame);
-            self.tlb.invalidate(vpn);
+            self.tlb_invalidate_all(vpn);
         } else {
             self.stats.virt_pages_mapped += 1;
             self.stats.virt_pages_mapped_peak =
@@ -497,8 +668,9 @@ impl Machine {
         for i in 0..pages as u64 {
             let frame = self.alloc_frame()?;
             self.map_vpn(base + i, frame, Protection::ReadWrite);
-            self.tlb.invalidate(base + i);
+            self.tlb_invalidate_all(base + i);
         }
+        self.charge_shootdown();
         self.note_event(addr, EventKind::Mmap { pages: pages as u32 });
         Ok(())
     }
@@ -581,8 +753,9 @@ impl Machine {
         for (i, frame) in frames.into_iter().enumerate() {
             self.incref_frame(frame);
             self.map_vpn(dst_base + i as u64, frame, Protection::ReadWrite);
-            self.tlb.invalidate(dst_base + i as u64);
+            self.tlb_invalidate_all(dst_base + i as u64);
         }
+        self.charge_shootdown();
         self.note_event(dst, EventKind::Mmap { pages: pages as u32 });
         Ok(())
     }
@@ -609,8 +782,9 @@ impl Machine {
         self.ltc_invalidate();
         for i in 0..pages as u64 {
             assert!(self.page_table.set_prot(base + i, prot), "checked above");
-            self.tlb.invalidate(base + i);
+            self.tlb_invalidate_all(base + i);
         }
+        self.charge_shootdown();
         self.note_event(addr, EventKind::Mprotect { pages: pages as u32 });
         Ok(())
     }
@@ -626,10 +800,11 @@ impl Machine {
         for i in 0..pages as u64 {
             if let Some(pte) = self.page_table.remove(base + i) {
                 self.decref_frame(pte.frame);
-                self.tlb.invalidate(base + i);
+                self.tlb_invalidate_all(base + i);
                 self.stats.virt_pages_mapped -= 1;
             }
         }
+        self.charge_shootdown();
         self.note_event(addr, EventKind::Munmap { pages: pages as u32 });
         Ok(())
     }
@@ -687,9 +862,10 @@ impl Machine {
         for &(base, pages) in &spans {
             for i in 0..pages as u64 {
                 assert!(self.page_table.set_prot(base + i, prot), "checked above");
-                self.tlb.invalidate(base + i);
+                self.tlb_invalidate_all(base + i);
             }
         }
+        self.charge_shootdown();
         self.note_event(ranges[0].0, EventKind::Mprotect { pages: total as u32 });
         Ok(())
     }
@@ -724,9 +900,10 @@ impl Machine {
             for i in 0..pages as u64 {
                 let frame = self.alloc_frame()?;
                 self.map_vpn(base + i, frame, Protection::ReadWrite);
-                self.tlb.invalidate(base + i);
+                self.tlb_invalidate_all(base + i);
             }
         }
+        self.charge_shootdown();
         self.note_event(ranges[0].0, EventKind::Mmap { pages: total as u32 });
         Ok(())
     }
@@ -752,11 +929,12 @@ impl Machine {
             for i in 0..pages as u64 {
                 if let Some(pte) = self.page_table.remove(base + i) {
                     self.decref_frame(pte.frame);
-                    self.tlb.invalidate(base + i);
+                    self.tlb_invalidate_all(base + i);
                     self.stats.virt_pages_mapped -= 1;
                 }
             }
         }
+        self.charge_shootdown();
         self.note_event(ranges[0].0, EventKind::Munmap { pages: total as u32 });
         Ok(())
     }
@@ -874,9 +1052,10 @@ impl Machine {
                     self.page_table.get(src_base + i).expect("validated above").frame;
                 self.incref_frame(frame);
                 self.map_vpn(dst_base + i, frame, Protection::ReadWrite);
-                self.tlb.invalidate(dst_base + i);
+                self.tlb_invalidate_all(dst_base + i);
             }
         }
+        self.charge_shootdown();
         self.note_event(entries[0].1, EventKind::Mmap { pages: total as u32 });
         Ok(())
     }
@@ -944,18 +1123,20 @@ impl Machine {
         let vpn = addr.page().raw();
         // The *modelled* TLB is probed (and charged) unconditionally —
         // the last-translation cache below only short-circuits the host
-        // page-table walk, never the simulated one.
-        if !self.tlb.access(vpn) {
+        // page-table walk, never the simulated one. Both live on the
+        // active core.
+        if !self.cores[self.active].tlb.access(vpn) {
             self.advance(self.config.cost.tlb_miss, Charge::TlbPenalty);
         }
-        let pte = if self.ltc_vpn == vpn {
-            self.ltc_entry
+        let pte = if self.cores[self.active].ltc_vpn == vpn {
+            self.cores[self.active].ltc_entry
         } else {
             match self.page_table.get(vpn) {
                 Some(p) => {
                     if self.ltc_enabled {
-                        self.ltc_vpn = vpn;
-                        self.ltc_entry = p;
+                        let core = &mut self.cores[self.active];
+                        core.ltc_vpn = vpn;
+                        core.ltc_entry = p;
                     }
                     p
                 }
@@ -972,7 +1153,7 @@ impl Machine {
             return Err(Trap::Protection { addr, prot: pte.prot, access });
         }
         let paddr = (pte.frame as u64) << PAGE_SHIFT | addr.offset() as u64;
-        if !self.cache.access(paddr) {
+        if !self.cores[self.active].cache.access(paddr) {
             self.advance(self.config.cost.l1_miss, Charge::TlbPenalty);
         }
         Ok((pte.frame, addr.offset()))
@@ -1238,6 +1419,128 @@ mod tests {
             .sum();
         assert_eq!(traced_total, on.clock());
         assert_eq!(snap.counter("ring.capacity"), 256);
+    }
+
+    /// An 8-core machine with free costs (for functional multi-core tests).
+    fn m8() -> Machine {
+        Machine::with_config(MachineConfig {
+            cost: CostModel::free(),
+            cores: 8,
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn cores_have_independent_clocks_and_default_active_is_zero() {
+        let mut m = Machine::with_config(MachineConfig { cores: 4, ..MachineConfig::default() });
+        assert_eq!(m.core_count(), 4);
+        assert_eq!(m.active_core(), 0);
+        m.tick(100);
+        m.switch_core(2);
+        m.tick(30);
+        assert_eq!(m.core_clock(0), 100);
+        assert_eq!(m.core_clock(1), 0);
+        assert_eq!(m.core_clock(2), 30);
+        assert_eq!(m.clock(), 30, "clock() follows the active core");
+        assert_eq!(m.max_core_clock(), 100);
+    }
+
+    #[test]
+    fn mprotect_invalidates_tlb_and_ltc_on_every_core() {
+        // Satellite regression: the TLB and the one-entry last-translation
+        // cache are per-core, so a protect on core 0 must shoot down the
+        // entries the *other* cores cached, or they would keep loading
+        // through a stale ReadWrite translation.
+        let mut m = m8();
+        let a = m.mmap(1).unwrap();
+        for core in 0..8 {
+            m.switch_core(core);
+            m.store_u64(a, core as u64).unwrap(); // warm TLB + LTC everywhere
+        }
+        m.switch_core(0);
+        m.mprotect(a, 1, Protection::None).unwrap();
+        for core in 0..8 {
+            m.switch_core(core);
+            let misses_before = m.tlb().misses();
+            let err = m.load_u64(a).unwrap_err();
+            assert!(
+                matches!(err, Trap::Protection { .. }),
+                "core {core} served a stale translation: {err:?}"
+            );
+            assert_eq!(
+                m.tlb().misses(),
+                misses_before + 1,
+                "core {core}: shootdown must also evict the TLB entry"
+            );
+        }
+    }
+
+    #[test]
+    fn mmap_fixed_recycle_is_visible_on_remote_cores() {
+        // Recycling a page on one core severs aliasing for all: a remote
+        // core's cached translation must not keep pointing at the old frame.
+        let mut m = m8();
+        let a = m.mmap(1).unwrap();
+        m.store_u64(a, 0xdead).unwrap();
+        m.switch_core(3);
+        assert_eq!(m.load_u64(a).unwrap(), 0xdead); // core 3 caches the PTE
+        m.switch_core(0);
+        m.mmap_fixed(a, 1).unwrap(); // fresh zeroed frame, same VA
+        m.switch_core(3);
+        assert_eq!(m.load_u64(a).unwrap(), 0, "core 3 must see the fresh frame");
+    }
+
+    #[test]
+    fn shootdown_charges_initiator_and_remote_cores() {
+        let mut m = Machine::with_config(MachineConfig { cores: 4, ..MachineConfig::default() });
+        let cost = m.config().cost;
+        let a = m.mmap(1).unwrap();
+        let initiator_before = m.clock();
+        let remote_before = m.core_clock(1);
+        m.mprotect(a, 1, Protection::None).unwrap();
+        assert_eq!(
+            m.clock() - initiator_before,
+            cost.syscall_mprotect + cost.syscall_per_page + 3 * cost.ipi_send,
+            "initiator pays the syscall plus one IPI send per remote core"
+        );
+        for core in 1..4 {
+            assert_eq!(
+                m.core_clock(core) - remote_before,
+                cost.ipi_recv,
+                "core {core} pays exactly the IPI service cost"
+            );
+        }
+        assert_eq!(m.stats().shootdown_ipis, 3);
+        let report = m.core_report(1);
+        assert_eq!(report.syscall_cycles, cost.ipi_recv);
+    }
+
+    #[test]
+    fn single_core_never_pays_shootdowns() {
+        let mut m = Machine::new();
+        let a = m.mmap(2).unwrap();
+        m.mprotect(a, 2, Protection::None).unwrap();
+        m.munmap(a, 2).unwrap();
+        assert_eq!(m.stats().shootdown_ipis, 0);
+    }
+
+    #[test]
+    fn per_core_metric_labels_appear_only_on_multi_core_machines() {
+        let mut single = Machine::new();
+        let a = single.mmap(1).unwrap();
+        single.mprotect(a, 1, Protection::None).unwrap();
+        let snap = single.metrics_snapshot();
+        assert!(!snap.counters.iter().any(|(n, _)| n.starts_with("vmm.core")));
+
+        let mut multi =
+            Machine::with_config(MachineConfig { cores: 2, ..MachineConfig::default() });
+        let b = multi.mmap(1).unwrap();
+        multi.mprotect(b, 1, Protection::None).unwrap();
+        let snap = multi.metrics_snapshot();
+        for key in ["vmm.core0.clock", "vmm.core1.clock", "vmm.shootdown_ipis"] {
+            assert!(snap.counters.iter().any(|(n, _)| n == key), "missing {key}");
+        }
+        assert_eq!(snap.counter("vmm.shootdown_ipis"), 1);
     }
 
     #[test]

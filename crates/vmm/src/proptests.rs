@@ -12,27 +12,7 @@ use crate::machine::{Machine, Protection};
 use crate::VirtAddr;
 use dangle_telemetry::EventKind;
 
-/// Deterministic xorshift64* generator for the model tests.
-struct TestRng(u64);
-
-impl TestRng {
-    fn new(seed: u64) -> TestRng {
-        TestRng(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-}
+use dangle_testkit::SeededRng as TestRng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -227,6 +207,7 @@ fn radix_machine_is_bit_identical_to_reference() {
             virt_pages: 1 << 20,
             telemetry: TelemetryConfig::default(),
             page_table: PageTableImpl::Reference,
+            cores: 1,
         };
         let mut reference = Machine::with_config(config);
         let mut radix =

@@ -40,6 +40,10 @@ pub struct MachineStats {
     /// Total `(addr, len)` ranges submitted across *all* vectored syscalls
     /// (mprotect/mmap/mremap/munmap batches).
     pub ranges_batched: u64,
+    /// Cross-core TLB-shootdown interrupts delivered: one per *remote*
+    /// core per mapping-mutating syscall when more than one core is
+    /// configured. Always zero on a single-core machine.
+    pub shootdown_ipis: u64,
 }
 
 impl MachineStats {

@@ -26,6 +26,7 @@
 //! yields every column of Tables 1–3.
 
 pub mod apps;
+pub mod concurrent;
 pub mod olden_graph;
 pub mod olden_sim;
 pub mod olden_sort;

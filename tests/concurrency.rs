@@ -1,0 +1,135 @@
+//! Differential tests pinning the sharded multi-core detector to the
+//! single-threaded one.
+//!
+//! Two properties carry the whole PR:
+//!
+//! 1. **cores = 1 is byte-identical to the legacy detector.** Over ~200
+//!    random pool-transformed MiniC programs, `ShardedPoolBackend` with
+//!    one shard must reproduce `ShadowPoolBackend` exactly: same result,
+//!    same simulated clock, same syscall counters, and — when the program
+//!    dangles — the same structured trap-report JSON.
+//! 2. **Detections are interleaving-invariant.** The concurrent driver's
+//!    normalized detection records and checksum must not change across
+//!    scheduler seeds or core counts: rescheduling may move sessions in
+//!    time but can never add, lose, or misattribute a dangling use.
+
+use dangle_apa::{parse, pool_allocate};
+use dangle_interp::backend::{
+    Backend, BackendError, ShadowPoolBackend, ShardedPoolBackend,
+};
+use dangle_interp::{run, RunError, RunOutcome};
+use dangle_testkit::minic::random_program;
+use dangle_vmm::{Machine, MachineConfig};
+use dangle_workloads::concurrent::ConcurrentMix;
+
+const FUEL: u64 = 50_000_000;
+
+/// Runs one program and distills everything observable: the outcome (with
+/// trap forensics rendered to JSON), the clock, and the syscall counters.
+fn observe(
+    prog: &dangle_apa::Program,
+    backend_is_sharded: bool,
+) -> (Result<RunOutcome, String>, u64, String) {
+    let mut machine = Machine::new();
+    let (res, report) = if backend_is_sharded {
+        let mut b = ShardedPoolBackend::new(1);
+        let res = run(prog, &mut machine, &mut b, FUEL);
+        let report = trap_json(&res, |t| {
+            b.detector().trap_report(&machine, t, "minic").map(|r| r.to_json().to_string())
+        });
+        (res, report)
+    } else {
+        let mut b = ShadowPoolBackend::new();
+        let res = run(prog, &mut machine, &mut b, FUEL);
+        let report = trap_json(&res, |t| {
+            b.detector().trap_report(&machine, t, "minic").map(|r| r.to_json().to_string())
+        });
+        (res, report)
+    };
+    let stats = machine.stats();
+    (
+        res.map_err(|e| e.to_string()),
+        machine.clock(),
+        format!("{report}|{stats:?}"),
+    )
+}
+
+fn trap_json(
+    res: &Result<RunOutcome, RunError>,
+    to_json: impl Fn(&dangle_vmm::Trap) -> Option<String>,
+) -> String {
+    match res {
+        Err(RunError::Backend(BackendError::Trap { trap, .. })) => {
+            to_json(trap).unwrap_or_else(|| "unattributed".into())
+        }
+        _ => String::new(),
+    }
+}
+
+#[test]
+fn sharded_one_core_is_byte_identical_to_legacy_over_random_programs() {
+    for seed in 0..200 {
+        let src = random_program(seed);
+        let (prog, _) = pool_allocate(&parse(&src).unwrap());
+        let legacy = observe(&prog, false);
+        let sharded = observe(&prog, true);
+        assert_eq!(legacy, sharded, "seed {seed} diverged\n{src}");
+    }
+}
+
+fn machine(cores: usize) -> Machine {
+    Machine::with_config(MachineConfig { cores, ..MachineConfig::default() })
+}
+
+#[test]
+fn every_interleaving_reports_the_same_injected_uafs() {
+    let mut reference = None;
+    for cores in [1usize, 2, 4, 8] {
+        for seed in [1u64, 42, 0xdead_beef] {
+            let cfg = ConcurrentMix {
+                sessions: 24,
+                requests_per_session: 4,
+                response_bytes: 512,
+                injected_uafs: 5,
+                seed,
+                ..ConcurrentMix::default()
+            };
+            let mut m = machine(cores);
+            let mut b = ShardedPoolBackend::new(cores);
+            let r = cfg.run(&mut m, &mut b).unwrap();
+            assert_eq!(
+                r.detections.len(),
+                5,
+                "cores {cores} seed {seed}: every injected UAF must be caught"
+            );
+            let key = (r.checksum, r.detections.clone());
+            match &reference {
+                None => reference = Some(key),
+                Some(k) => {
+                    assert_eq!(*k, key, "cores {cores} seed {seed}: observable results moved")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_driver_on_legacy_and_sharded_agree_at_one_core() {
+    let cfg = ConcurrentMix {
+        sessions: 18,
+        requests_per_session: 3,
+        response_bytes: 384,
+        injected_uafs: 3,
+        seed: 9,
+        ..ConcurrentMix::default()
+    };
+    let mut m1 = machine(1);
+    let mut legacy: Box<dyn Backend> = Box::new(ShadowPoolBackend::new());
+    let r1 = cfg.run(&mut m1, legacy.as_mut()).unwrap();
+    let mut m2 = machine(1);
+    let mut sharded: Box<dyn Backend> = Box::new(ShardedPoolBackend::new(1));
+    let r2 = cfg.run(&mut m2, sharded.as_mut()).unwrap();
+    assert_eq!(r1, r2, "driver reports diverge");
+    assert_eq!(m1.clock(), m2.clock(), "cycle streams diverge");
+    assert_eq!(m1.stats(), m2.stats(), "syscall streams diverge");
+}

@@ -13,28 +13,7 @@ use dangle::interp::backend::{Backend, MemcheckBackend, NativeBackend, ShadowPoo
 use dangle::telemetry::{EventKind, Json, TrapReport};
 use dangle::vmm::{Machine, VirtAddr};
 
-/// Deterministic xorshift64* generator for the seeded randomized tests
-/// (ports of the original property tests; no external crates).
-struct TestRng(u64);
-
-impl TestRng {
-    fn new(seed: u64) -> TestRng {
-        TestRng(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-}
+use dangle_testkit::SeededRng as TestRng;
 
 #[derive(Clone, Debug)]
 enum Op {

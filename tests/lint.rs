@@ -418,26 +418,7 @@ fn provably_safe_program_elides_protection_and_keeps_output() {
 // Differential property test: random MiniC programs.
 // ---------------------------------------------------------------------
 
-struct TestRng(u64);
-
-impl TestRng {
-    fn new(seed: u64) -> TestRng {
-        TestRng(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-}
+use dangle_testkit::SeededRng as TestRng;
 
 /// Emits a random statement over pointer vars `p0..p2` (all non-null by
 /// construction: initialized with malloc, reassigned only from malloc or
