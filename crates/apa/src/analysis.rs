@@ -112,6 +112,18 @@ pub struct Analysis {
     pub requires: HashMap<String, Vec<usize>>,
     /// function -> classes whose pool it owns (creates/destroys).
     pub owns: HashMap<String, Vec<usize>>,
+    /// Classes reachable from any global variable.
+    pub global_classes: HashSet<usize>,
+    /// (function, parameter index) -> class of the parameter's pointee,
+    /// when the parameter points into a known heap class.
+    pub param_class: HashMap<(String, usize), usize>,
+    /// Classes whose objects are only ever stored into heap fields as
+    /// literal `malloc(...)` results (or `null`): their heap graph is a
+    /// forest of freshly-built chains (in-degree <= 1, acyclic), the
+    /// precondition for the lint's linear-traversal free rule.
+    pub fresh_store: HashSet<usize>,
+    /// Class -> class of the pointers stored in its objects' fields.
+    pub pointee_class: HashMap<usize, usize>,
 }
 
 impl Analysis {
@@ -143,6 +155,19 @@ struct Builder<'p> {
     /// free site -> object cell of the freed pointer's target.
     free_obj: HashMap<u32, u32>,
     current_func: String,
+    /// Pointer stores into heap fields: (contents cell, what was stored).
+    field_stores: Vec<(u32, StoreRhs)>,
+}
+
+/// Classification of the right-hand side of a pointer store into a heap
+/// field, for the fresh-store facts.
+enum StoreRhs {
+    /// A literal `malloc(...)` — the stored object is brand new.
+    Fresh,
+    /// `null` — no heap edge.
+    Null,
+    /// Anything else that may be a pointer (vars, loads, calls, arrays).
+    Other,
 }
 
 impl<'p> Builder<'p> {
@@ -155,7 +180,80 @@ impl<'p> Builder<'p> {
             site_obj: HashMap::new(),
             free_obj: HashMap::new(),
             current_func: String::new(),
+            field_stores: Vec::new(),
         }
+    }
+
+    /// Conservative pointer-store classification of a field-store rhs.
+    /// `None` means the store is provably an integer (no heap edge); when
+    /// in doubt the answer is `Other`, which only *loses* precision.
+    fn store_rhs_kind(&self, e: &Expr) -> Option<StoreRhs> {
+        match e {
+            Expr::Malloc { .. } => Some(StoreRhs::Fresh),
+            Expr::Null => Some(StoreRhs::Null),
+            Expr::Int(_) | Expr::Binary { .. } => None,
+            Expr::MallocArray { .. } | Expr::Index { .. } => Some(StoreRhs::Other),
+            Expr::Var(name) => match self.var_type(name) {
+                Some(Type::Int) => None,
+                _ => Some(StoreRhs::Other),
+            },
+            Expr::Field { field, .. } => {
+                // Field-name type across all structs; pointer if any agrees.
+                let mut known = false;
+                let mut ptrish = false;
+                for sd in &self.prog.structs {
+                    for (fname, ty) in &sd.fields {
+                        if fname == field {
+                            known = true;
+                            ptrish |= ty.is_ptr();
+                        }
+                    }
+                }
+                if known && !ptrish { None } else { Some(StoreRhs::Other) }
+            }
+            Expr::Call { callee, .. } => {
+                match self.prog.func(callee).and_then(|f| f.ret.as_ref()) {
+                    Some(Type::Int) | None => None,
+                    Some(Type::Ptr(_)) => Some(StoreRhs::Other),
+                }
+            }
+        }
+    }
+
+    /// Declared type of `name` in the current function (params shadow
+    /// globals; conflicting shadowed declarations answer pointer-ish).
+    fn var_type(&self, name: &str) -> Option<Type> {
+        fn decls(stmts: &[Stmt], name: &str, out: &mut Vec<Type>) {
+            for s in stmts {
+                match s {
+                    Stmt::VarDecl { name: n, ty, .. } if n == name => {
+                        out.push(ty.clone())
+                    }
+                    Stmt::If { then, els, .. } => {
+                        decls(then, name, out);
+                        decls(els, name, out);
+                    }
+                    Stmt::While { body, .. } => decls(body, name, out),
+                    _ => {}
+                }
+            }
+        }
+        if let Some(f) = self.prog.func(&self.current_func) {
+            for (p, ty) in &f.params {
+                if p == name {
+                    return Some(ty.clone());
+                }
+            }
+            let mut found = Vec::new();
+            decls(&f.body, name, &mut found);
+            if !found.is_empty() {
+                if found.iter().any(Type::is_ptr) {
+                    return found.into_iter().find(Type::is_ptr);
+                }
+                return found.into_iter().next();
+            }
+        }
+        self.prog.globals.iter().find(|(g, _)| g == name).map(|(_, ty)| ty.clone())
     }
 
     fn var(&mut self, name: &str) -> u32 {
@@ -286,6 +384,9 @@ impl<'p> Builder<'p> {
                         let obj = self.cells.deref(b);
                         let contents = self.cells.deref(obj);
                         self.cells.union(contents, rc);
+                        if let Some(kind) = self.store_rhs_kind(rhs) {
+                            self.field_stores.push((contents, kind));
+                        }
                     }
                 }
             }
@@ -393,7 +494,7 @@ fn direct_needs(prog: &Program, site_class: &HashMap<u32, usize>, free_class: &H
 
 /// Call graph: function -> callees (direct calls only; MiniC has no
 /// function pointers).
-fn call_graph(prog: &Program) -> HashMap<String, HashSet<String>> {
+pub fn call_graph(prog: &Program) -> HashMap<String, HashSet<String>> {
     fn walk_expr(e: &Expr, out: &mut HashSet<String>) {
         match e {
             Expr::Call { callee, args, .. } => {
@@ -675,6 +776,61 @@ pub fn analyze(prog: &Program) -> Analysis {
         v.dedup();
     }
 
+    // Classes reachable from globals (summary widening and the linear
+    // traversal rule both refuse to reason about these).
+    let mut global_classes: HashSet<usize> = HashSet::new();
+    for (rep, &cid) in &rep_to_class {
+        let r = b.cells.find(*rep);
+        if global_reach.contains(&r) {
+            global_classes.insert(cid);
+        }
+    }
+    // Fresh-store classes: remove any class whose objects are stored into
+    // heap fields by something other than a literal malloc/null.
+    let mut fresh_store: HashSet<usize> = (0..classes.len()).collect();
+    let stores: Vec<(u32, bool)> = b
+        .field_stores
+        .iter()
+        .map(|(c, k)| (*c, matches!(k, StoreRhs::Other)))
+        .collect();
+    for (contents, other) in stores {
+        if !other {
+            continue;
+        }
+        let cc = b.cells.find(contents);
+        let Some(p) = b.cells.pointee[cc as usize] else { continue };
+        let rep = b.cells.find(p);
+        if let Some(&d) = rep_to_class.get(&rep) {
+            fresh_store.remove(&d);
+        }
+    }
+    // Class of the pointers held in each class's fields.
+    let mut pointee_class: HashMap<usize, usize> = HashMap::new();
+    for (rep, &cid) in &rep_to_class {
+        let or = b.cells.find(*rep);
+        let Some(cc) = b.cells.pointee[or as usize] else { continue };
+        let ccr = b.cells.find(cc);
+        let Some(p) = b.cells.pointee[ccr as usize] else { continue };
+        let pr = b.cells.find(p);
+        if let Some(&d) = rep_to_class.get(&pr) {
+            pointee_class.insert(cid, d);
+        }
+    }
+
+    // Pointee class of each pointer parameter, for summary application.
+    let mut param_class: HashMap<(String, usize), usize> = HashMap::new();
+    for f in &prog.funcs {
+        for (i, (p, _)) in f.params.iter().enumerate() {
+            if let Some(&c) = b.var_cell.get(&format!("{}::{}", f.name, p)) {
+                let obj = b.cells.deref(c);
+                let rep = b.cells.find(obj);
+                if let Some(&cid) = rep_to_class.get(&rep) {
+                    param_class.insert((f.name.clone(), i), cid);
+                }
+            }
+        }
+    }
+
     Analysis {
         classes,
         site_class,
@@ -689,6 +845,10 @@ pub fn analyze(prog: &Program) -> Analysis {
             })
             .collect(),
         owns,
+        global_classes,
+        param_class,
+        fresh_store,
+        pointee_class,
     }
 }
 

@@ -176,6 +176,8 @@ pub enum Expr {
         args: Vec<Expr>,
         /// Pool-descriptor arguments added by the transform.
         pool_args: Vec<PoolRef>,
+        /// Source location of the call (eq-transparent metadata).
+        span: Span,
     },
 }
 

@@ -135,6 +135,63 @@ pub fn ghttpd_keepalive(connections: u64, requests: u64) -> String {
     )
 }
 
+/// The paper's Figure 1 running example with the dangling
+/// `p->next->val = 7` line replaced by a safe read of the (still-live)
+/// head — the "what the programmer meant" variant. Interprocedural
+/// dangle-lint proves every free site safe (the linear-traversal free in
+/// `free_all_but_head` frees a freshly-built forest it owns), so the whole
+/// list class is elidable; the intraprocedural mode must leave the site
+/// Unknown because the free is behind two calls.
+pub fn figure1_fixed() -> String {
+    crate::parse::FIGURE_1.replace(
+        "p->next->val = 7; // p->next is dangling",
+        "print(p->val);",
+    )
+}
+
+/// ftpd-style session loop factored through helpers, exercising the
+/// summary pipeline end to end: `open_session` *returns* a fresh
+/// allocation, `xfer` only dereferences, and `close_session` must-frees
+/// both of its parameters. Every free site is ProvablySafe under the
+/// interprocedural lint and Unknown under the intraprocedural one — the
+/// corpus's headline intra-vs-inter delta.
+pub fn ftpd_helper(sessions: u64) -> String {
+    format!(
+        "struct sess {{ id: int, bytes: int }}
+         struct buf {{ data: int, cap: int }}
+         fn open_session(id: int) -> ptr<sess> {{
+             var s: ptr<sess> = malloc(sess);
+             s->id = id;
+             s->bytes = 0;
+             return s;
+         }}
+         fn xfer(s: ptr<sess>, b: ptr<buf>, n: int) {{
+             b->data = n * 2 + 1;
+             s->bytes = s->bytes + b->data;
+         }}
+         fn close_session(s: ptr<sess>, b: ptr<buf>) {{
+             print(s->bytes);
+             free(b);
+             free(s);
+         }}
+         fn main() {{
+             var i: int = 0;
+             while (i < {sessions}) {{
+                 var s: ptr<sess> = open_session(i);
+                 var b: ptr<buf> = malloc(buf);
+                 b->cap = 512;
+                 var t: int = 0;
+                 while (t < 4) {{
+                     xfer(s, b, i + t);
+                     t = t + 1;
+                 }}
+                 close_session(s, b);
+                 i = i + 1;
+             }}
+         }}"
+    )
+}
+
 /// Injected-UAF corpus: `(name, source)` pairs whose detection every
 /// detecting backend — and every engine — must reproduce identically.
 pub fn injected_uafs() -> Vec<(&'static str, &'static str)> {
@@ -179,11 +236,43 @@ mod tests {
 
     #[test]
     fn corpus_programs_parse() {
-        for src in [fingerd(3), ftpd(3), ghttpd(3), ghttpd_keepalive(2, 3)] {
+        for src in [
+            fingerd(3),
+            ftpd(3),
+            ghttpd(3),
+            ghttpd_keepalive(2, 3),
+            figure1_fixed(),
+            ftpd_helper(3),
+        ] {
             parse(&src).expect("corpus program parses");
         }
         for (name, src) in injected_uafs() {
             parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
+    }
+
+    #[test]
+    fn figure1_fixed_is_fully_safe_under_inter() {
+        let prog = parse(&figure1_fixed()).unwrap();
+        let a = crate::analysis::analyze(&prog);
+        let r = crate::dataflow::lint(&prog, &a);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.sites_unknown(), 0, "reasons: {:?}", r.reasons);
+        assert_eq!(r.elidable_classes.len(), a.classes.len());
+        // The intraprocedural mode cannot see through g/free_all_but_head.
+        let ri = crate::dataflow::lint_intra(&prog, &a);
+        assert!(ri.sites_unknown() > 0);
+    }
+
+    #[test]
+    fn ftpd_helper_safe_inter_unknown_intra() {
+        let prog = parse(&ftpd_helper(3)).unwrap();
+        let a = crate::analysis::analyze(&prog);
+        let r = crate::dataflow::lint(&prog, &a);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.sites_unknown(), 0, "reasons: {:?}", r.reasons);
+        assert_eq!(r.sites_safe(), 2);
+        let ri = crate::dataflow::lint_intra(&prog, &a);
+        assert_eq!(ri.sites_unknown(), 2, "reasons: {:?}", ri.reasons);
     }
 }

@@ -57,8 +57,39 @@
 
 use crate::analysis::Analysis;
 use crate::ast::*;
-use std::collections::{BTreeMap, BTreeSet};
+use crate::callgraph::CallGraph;
+use crate::summary::{FnSummary, ParamEffect, RetEffect};
+use dangle_telemetry::Json;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
+
+/// Analysis precision mode (see [`lint_with_mode`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LintMode {
+    /// Every function in isolation: parameters and heap loads are `top`,
+    /// calls havoc their arguments. This is the historical behavior.
+    Intra,
+    /// Call-graph driven: per-function free/alias summaries are computed
+    /// bottom-up over the SCC condensation and applied at call sites, so
+    /// frees through helpers and linear list traversals can still be
+    /// proven `ProvablySafe`.
+    #[default]
+    Inter,
+}
+
+impl fmt::Display for LintMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", match self {
+            LintMode::Intra => "intra",
+            LintMode::Inter => "inter",
+        })
+    }
+}
+
+/// Iteration budget per call-graph SCC before summaries are widened to the
+/// opaque fallback. The summary lattice is finite, so this only ever fires
+/// as a safety net on pathological inputs.
+const MAX_SCC_ITERS: usize = 20;
 
 /// Classification of one free site, ordered by severity (joins take the
 /// maximum, so a site can only be demoted).
@@ -146,6 +177,14 @@ pub struct LintReport {
     pub unchecked_malloc_sites: BTreeSet<u32>,
     /// Free sites of elidable classes (to be stamped `unchecked`).
     pub unchecked_free_sites: BTreeSet<u32>,
+    /// Which precision mode produced this report.
+    pub mode: LintMode,
+    /// Free-site id → call chain (`caller -> callee at span` hops, capped)
+    /// through which the site's effect reached an applying caller.
+    pub summary_chain: BTreeMap<u32, Vec<String>>,
+    /// Function name → human rendering of its converged summary
+    /// (interprocedural mode only).
+    pub fn_summaries: BTreeMap<String, String>,
 }
 
 impl LintReport {
@@ -188,16 +227,120 @@ impl LintReport {
         }
         out
     }
+
+    /// Machine-readable report: per-site verdicts with spans, reasons and
+    /// summary chains, per-class elision decisions, and the rendered
+    /// function summaries. Stable key order, `schema_version` 1.
+    pub fn to_json(&self, analysis: &Analysis) -> Json {
+        let mut sites = Vec::new();
+        for (&site, &v) in &self.verdicts {
+            let (func, span) = self
+                .site_info
+                .get(&site)
+                .cloned()
+                .unwrap_or_else(|| (String::new(), Span::NONE));
+            let mut o: Vec<(String, Json)> = vec![
+                ("site".into(), Json::from_u64(site as u64)),
+                ("func".into(), Json::Str(func)),
+                ("line".into(), Json::from_u64(span.line as u64)),
+                ("col".into(), Json::from_u64(span.col as u64)),
+                ("verdict".into(), Json::Str(v.to_string())),
+                (
+                    "class".into(),
+                    match analysis.free_class.get(&site) {
+                        Some(&c) => Json::from_u64(c as u64),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "elided".into(),
+                    Json::Bool(self.unchecked_free_sites.contains(&site)),
+                ),
+            ];
+            if let Some(r) = self.reasons.get(&site) {
+                o.push(("reason".into(), Json::Str(r.clone())));
+            }
+            let chain = self.summary_chain.get(&site).cloned().unwrap_or_default();
+            o.push((
+                "summary_chain".into(),
+                Json::Arr(chain.into_iter().map(Json::Str).collect()),
+            ));
+            sites.push(Json::Obj(o));
+        }
+        let classes: Vec<Json> = (0..analysis.classes.len())
+            .map(|cid| {
+                Json::Obj(vec![
+                    ("id".into(), Json::from_u64(cid as u64)),
+                    (
+                        "elidable".into(),
+                        Json::Bool(self.elidable_classes.contains(&cid)),
+                    ),
+                ])
+            })
+            .collect();
+        let diags: Vec<Json> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("site".into(), Json::from_u64(d.site as u64)),
+                    ("func".into(), Json::Str(d.func.clone())),
+                    ("verdict".into(), Json::Str(d.verdict.to_string())),
+                    ("line".into(), Json::from_u64(d.span.line as u64)),
+                    ("col".into(), Json::from_u64(d.span.col as u64)),
+                    ("message".into(), Json::Str(d.message.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Int(1)),
+            ("mode".into(), Json::Str(self.mode.to_string())),
+            (
+                "counts".into(),
+                Json::Obj(vec![
+                    ("safe".into(), Json::from_u64(self.sites_safe())),
+                    ("unknown".into(), Json::from_u64(self.sites_unknown())),
+                    ("flagged".into(), Json::from_u64(self.sites_flagged())),
+                ]),
+            ),
+            ("sites".into(), Json::Arr(sites)),
+            ("classes".into(), Json::Arr(classes)),
+            (
+                "elidable_classes".into(),
+                Json::Arr(
+                    self.elidable_classes
+                        .iter()
+                        .map(|&c| Json::from_u64(c as u64))
+                        .collect(),
+                ),
+            ),
+            ("diagnostics".into(), Json::Arr(diags)),
+            (
+                "summaries".into(),
+                Json::Obj(
+                    self.fn_summaries
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
-/// An abstract heap-object name: the most recent allocation of a site, or
-/// the summary of all older ones.
+/// An abstract heap-object name: the most recent allocation of a site, the
+/// summary of all older ones, or (interprocedurally) whatever the caller
+/// passed as a given argument.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Tok {
+pub enum Tok {
     /// The most recent object allocated at this malloc site.
     Site(u32),
     /// All older objects from this malloc site (weakly updated).
     Old(u32),
+    /// The object the caller's `i`-th argument points to. Frees against it
+    /// become obligations the caller discharges when it applies the
+    /// summary ([`crate::summary::ParamEffect`]).
+    Param(u32),
 }
 
 /// Abstract pointer value: a set of possible target objects plus poison
@@ -212,25 +355,36 @@ struct AbsPtr {
     interior: bool,
     /// Possible local targets.
     toks: BTreeSet<Tok>,
+    /// Heap-content markers: the value may point to *some* object of these
+    /// classes reached through a heap load (interprocedural mode only).
+    /// Uses and frees against a marker go through
+    /// [`State::heap_freed`], never through token states.
+    heap: BTreeSet<usize>,
 }
 
 impl AbsPtr {
     fn top() -> AbsPtr {
-        AbsPtr { may_null: true, top: true, interior: true, toks: BTreeSet::new() }
+        AbsPtr { may_null: true, top: true, interior: true, ..AbsPtr::default() }
     }
 
     /// Null, integer, or uninitialized value: no targets.
     fn scalar() -> AbsPtr {
-        AbsPtr { may_null: true, top: false, interior: false, toks: BTreeSet::new() }
+        AbsPtr { may_null: true, ..AbsPtr::default() }
     }
 
     fn fresh(t: Tok) -> AbsPtr {
-        AbsPtr {
-            may_null: false,
-            top: false,
-            interior: false,
-            toks: [t].into_iter().collect(),
-        }
+        AbsPtr { toks: [t].into_iter().collect(), ..AbsPtr::default() }
+    }
+
+    /// Initial value of the `i`-th parameter in interprocedural mode: the
+    /// caller's argument, which may always be null.
+    fn param(t: Tok) -> AbsPtr {
+        AbsPtr { may_null: true, toks: [t].into_iter().collect(), ..AbsPtr::default() }
+    }
+
+    /// A may-null pointer into heap-reached objects of `heap` classes.
+    fn marker(heap: BTreeSet<usize>) -> AbsPtr {
+        AbsPtr { may_null: true, heap, ..AbsPtr::default() }
     }
 
     fn join(&self, o: &AbsPtr) -> AbsPtr {
@@ -239,12 +393,18 @@ impl AbsPtr {
             top: self.top || o.top,
             interior: self.interior || o.interior,
             toks: self.toks.union(&o.toks).copied().collect(),
+            heap: self.heap.union(&o.heap).copied().collect(),
         }
     }
 
     /// The unique, unambiguous target of a must-non-null pointer, if any.
     fn singleton(&self) -> Option<Tok> {
-        if !self.top && !self.may_null && !self.interior && self.toks.len() == 1 {
+        if !self.top
+            && !self.may_null
+            && !self.interior
+            && self.toks.len() == 1
+            && self.heap.is_empty()
+        {
             self.toks.iter().next().copied()
         } else {
             None
@@ -261,11 +421,14 @@ struct TokState {
     freed_by: BTreeSet<u32>,
     /// The object may be reachable from outside the function (sticky).
     escaped: bool,
+    /// The object may have been dereferenced (sticky; feeds
+    /// [`crate::summary::ParamEffect::used`]).
+    used: bool,
 }
 
 impl TokState {
     fn live() -> TokState {
-        TokState { may_live: true, freed_by: BTreeSet::new(), escaped: false }
+        TokState { may_live: true, freed_by: BTreeSet::new(), escaped: false, used: false }
     }
 
     fn must_freed(&self) -> bool {
@@ -277,6 +440,7 @@ impl TokState {
             may_live: self.may_live || o.may_live,
             freed_by: self.freed_by.union(&o.freed_by).copied().collect(),
             escaped: self.escaped || o.escaped,
+            used: self.used || o.used,
         }
     }
 }
@@ -286,6 +450,10 @@ impl TokState {
 struct State {
     vars: BTreeMap<String, AbsPtr>,
     toks: BTreeMap<Tok, TokState>,
+    /// class -> free sites that may have freed *heap-reached* objects of
+    /// the class (monotone: joined by union, never cleared). A later
+    /// dereference of a marker of the class demotes these sites.
+    heap_freed: BTreeMap<usize, BTreeSet<u32>>,
 }
 
 impl State {
@@ -326,6 +494,9 @@ impl State {
                 }
             }
         }
+        for (c, sites) in &o.heap_freed {
+            self.heap_freed.entry(*c).or_default().extend(sites.iter().copied());
+        }
     }
 
     fn tok_mut(&mut self, t: Tok) -> &mut TokState {
@@ -333,7 +504,7 @@ impl State {
     }
 }
 
-struct Linter {
+struct Linter<'a> {
     report: LintReport,
     /// Functions that definitely execute when `main` runs.
     definite_funcs: BTreeSet<String>,
@@ -341,12 +512,67 @@ struct Linter {
     func: String,
     /// The current program point definitely executes.
     definite: bool,
+    /// Precision mode; `Intra` reproduces the historical behavior exactly.
+    mode: LintMode,
+    /// Steensgaard results (class, escape and store-shape facts).
+    analysis: &'a Analysis,
+    /// Names of functions defined in the program.
+    defined: BTreeSet<String>,
+    /// Converged (or in-flight, during the SCC fixpoint) summaries.
+    summaries: BTreeMap<String, FnSummary>,
+    /// SCCs whose iteration budget ran out: callers fall back to havoc.
+    widened: BTreeSet<String>,
+    /// function -> free sites syntactically reachable through it, for the
+    /// widened/opaque call fallback.
+    transitive_frees: HashMap<String, HashSet<u32>>,
+    /// Exit states of the function being analyzed (one per return point
+    /// plus the fallthrough), joined into the summary.
+    exits: Vec<State>,
+    /// Joined abstract return value across `return e;` statements.
+    ret_acc: Option<AbsPtr>,
+    /// The function can fall off the end (pointer-returning functions then
+    /// yield an undefined value: the summary's return goes `top`).
+    ret_fallthrough: bool,
+    /// Malloc sites the current function transitively executes.
+    acc_allocs: BTreeSet<u32>,
+    /// class -> heap-reached free sites the current function executes.
+    acc_frees_heap: BTreeMap<usize, BTreeSet<u32>>,
+    /// Classes whose heap-reached objects the current function
+    /// dereferences.
+    acc_uses_heap: BTreeSet<usize>,
 }
 
-/// Runs the free-site safety analysis over `prog`, seeded with the
-/// Steensgaard `analysis` for the class-granular elision decision.
+/// Runs the free-site safety analysis over `prog` in the default
+/// interprocedural mode, seeded with the Steensgaard `analysis` for the
+/// class-granular elision decision.
 pub fn lint(prog: &Program, analysis: &Analysis) -> LintReport {
-    let mut report = LintReport::default();
+    lint_with_mode(prog, analysis, LintMode::Inter)
+}
+
+/// The historical intraprocedural analysis: parameters and heap loads are
+/// `top`, calls havoc their arguments. Kept for measuring what the
+/// interprocedural layer buys.
+pub fn lint_intra(prog: &Program, analysis: &Analysis) -> LintReport {
+    lint_with_mode(prog, analysis, LintMode::Intra)
+}
+
+/// Runs the analysis in an explicit [`LintMode`].
+///
+/// Interprocedural mode is a two-phase driver over the SCC-condensed call
+/// graph:
+///
+/// 1. **Phase A** — walk SCCs bottom-up; iterate each SCC's members to a
+///    joint summary fixpoint (starting from bottom summaries). `Definite*`
+///    claims are disabled: mid-fixpoint must-information can still shrink,
+///    so claiming on it could produce a false definite. `Unknown`
+///    demotions are monotone may-facts and safe to record. An SCC that
+///    exceeds [`MAX_SCC_ITERS`] is *widened*: its summaries are dropped,
+///    its members re-analyzed with havoc parameters, and its callers
+///    demote every transitively-contained free site.
+/// 2. **Phase B** — re-analyze every function in program order with the
+///    converged summaries and claims enabled.
+pub fn lint_with_mode(prog: &Program, analysis: &Analysis, mode: LintMode) -> LintReport {
+    let mut report = LintReport { mode, ..LintReport::default() };
     collect_free_sites(prog, &mut report);
     let definite_funcs = definitely_called(prog);
     let mut l = Linter {
@@ -354,15 +580,69 @@ pub fn lint(prog: &Program, analysis: &Analysis) -> LintReport {
         definite_funcs,
         func: String::new(),
         definite: false,
+        mode,
+        analysis,
+        defined: prog.funcs.iter().map(|f| f.name.clone()).collect(),
+        summaries: BTreeMap::new(),
+        widened: BTreeSet::new(),
+        transitive_frees: HashMap::new(),
+        exits: Vec::new(),
+        ret_acc: None,
+        ret_fallthrough: false,
+        acc_allocs: BTreeSet::new(),
+        acc_frees_heap: BTreeMap::new(),
+        acc_uses_heap: BTreeSet::new(),
     };
-    for f in prog.funcs.iter() {
-        l.func = f.name.clone();
-        l.definite = l.definite_funcs.contains(&f.name);
-        let mut st = State::default();
-        for (p, _) in &f.params {
-            st.vars.insert(p.clone(), AbsPtr::top());
+    match mode {
+        LintMode::Intra => {
+            for f in prog.funcs.iter() {
+                l.analyze_fn(f, true);
+            }
         }
-        l.block(&f.body, st);
+        LintMode::Inter => {
+            let cg = CallGraph::build(prog);
+            l.transitive_frees = cg.transitive_free_sites(prog);
+            // Phase A: bottom-up summary fixpoint, claims disabled.
+            for scc in &cg.sccs {
+                let mut iters = 0usize;
+                loop {
+                    let mut changed = false;
+                    for fname in scc {
+                        let Some(f) = prog.func(fname) else { continue };
+                        let s = l.analyze_fn(f, false);
+                        if l.summaries.get(fname.as_str()) != Some(&s) {
+                            l.summaries.insert(fname.clone(), s);
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                    iters += 1;
+                    if iters >= MAX_SCC_ITERS {
+                        for fname in scc {
+                            l.widened.insert(fname.clone());
+                            l.summaries.remove(fname.as_str());
+                        }
+                        // One havoc-parameter pass so the members' own
+                        // sites get their (demoted) verdicts.
+                        for fname in scc {
+                            if let Some(f) = prog.func(fname) {
+                                l.analyze_fn(f, false);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            // Phase B: final verdicts with converged summaries.
+            for f in prog.funcs.iter() {
+                l.analyze_fn(f, true);
+            }
+            for (name, s) in &l.summaries {
+                l.report.fn_summaries.insert(name.clone(), s.render(name));
+            }
+        }
     }
     let mut report = l.report;
 
@@ -569,7 +849,131 @@ fn definitely_called(prog: &Program) -> BTreeSet<String> {
     set
 }
 
-impl Linter {
+impl Linter<'_> {
+    /// Analyzes one function; in interprocedural mode, returns the summary
+    /// extracted from its joined exit states. `claims` enables `Definite*`
+    /// verdicts (phase B / intraprocedural only).
+    fn analyze_fn(&mut self, f: &FuncDef, claims: bool) -> FnSummary {
+        self.func = f.name.clone();
+        self.definite = claims && self.definite_funcs.contains(&f.name);
+        self.exits.clear();
+        self.ret_acc = None;
+        self.ret_fallthrough = false;
+        self.acc_allocs.clear();
+        self.acc_frees_heap.clear();
+        self.acc_uses_heap.clear();
+        let havoc_params =
+            self.mode == LintMode::Intra || self.widened.contains(&f.name);
+        let mut st = State::default();
+        for (i, (p, _)) in f.params.iter().enumerate() {
+            if havoc_params {
+                st.vars.insert(p.clone(), AbsPtr::top());
+            } else {
+                let t = Tok::Param(i as u32);
+                st.toks.insert(t, TokState::live());
+                st.vars.insert(p.clone(), AbsPtr::param(t));
+            }
+        }
+        if let Some(out) = self.block(&f.body, st) {
+            self.ret_fallthrough = true;
+            if self.mode == LintMode::Inter {
+                self.exits.push(out);
+            }
+        }
+        if self.mode == LintMode::Intra {
+            return FnSummary::default();
+        }
+        self.extract_summary(f)
+    }
+
+    /// Builds the function's summary from the join of its exit states and
+    /// the accumulated transitive effects.
+    fn extract_summary(&mut self, f: &FuncDef) -> FnSummary {
+        let mut exit: Option<State> = None;
+        for e in std::mem::take(&mut self.exits) {
+            match &mut exit {
+                None => exit = Some(e),
+                Some(x) => x.join_with(&e),
+            }
+        }
+        let mut s = FnSummary {
+            params: vec![ParamEffect::default(); f.params.len()],
+            allocs: std::mem::take(&mut self.acc_allocs),
+            frees_heap: std::mem::take(&mut self.acc_frees_heap),
+            uses_heap: std::mem::take(&mut self.acc_uses_heap),
+            ret: None,
+        };
+        if let Some(ex) = &exit {
+            for (i, pe) in s.params.iter_mut().enumerate() {
+                if let Some(ts) = ex.toks.get(&Tok::Param(i as u32)) {
+                    pe.used = ts.used;
+                    pe.frees = ts.freed_by.clone();
+                    pe.frees_must = ts.must_freed();
+                    pe.escapes = ts.escaped;
+                }
+            }
+        }
+        if matches!(f.ret, Some(Type::Ptr(_))) {
+            let v = self.ret_acc.take().unwrap_or_else(AbsPtr::top);
+            let mut r = RetEffect {
+                may_null: v.may_null,
+                top: v.top,
+                interior: v.interior,
+                toks: v.toks,
+                heap: v.heap,
+            };
+            if self.ret_fallthrough {
+                // Falling off the end of a pointer-returning function
+                // yields an undefined value.
+                r.top = true;
+                r.may_null = true;
+            }
+            s.ret = Some(r);
+        }
+        s
+    }
+
+    /// The Steensgaard class a token's object belongs to, if known.
+    fn tok_class(&self, t: Tok) -> Option<usize> {
+        match t {
+            Tok::Site(m) | Tok::Old(m) => self.analysis.site_class.get(&m).copied(),
+            Tok::Param(i) => self
+                .analysis
+                .param_class
+                .get(&(self.func.clone(), i as usize))
+                .copied(),
+        }
+    }
+
+    /// All classes a non-`top` value may point into (`None` when any
+    /// target is unclassifiable).
+    fn target_classes(&self, v: &AbsPtr) -> Option<BTreeSet<usize>> {
+        if v.top {
+            return None;
+        }
+        let mut out: BTreeSet<usize> = v.heap.iter().copied().collect();
+        for t in &v.toks {
+            out.insert(self.tok_class(*t)?);
+        }
+        Some(out)
+    }
+
+    /// Weakly marks every *escaped* token of class `c` as possibly freed
+    /// by `sites`: a region-level free (chain free or heap-marker free)
+    /// reaches every object stored into the region, and escaped tokens are
+    /// exactly the locally-tracked objects that may live there.
+    fn weak_free_escaped_of_class(&mut self, c: usize, sites: &[u32], st: &mut State) {
+        let mut hit: Vec<Tok> = Vec::new();
+        for (t, ts) in st.toks.iter() {
+            if ts.escaped && self.tok_class(*t) == Some(c) {
+                hit.push(*t);
+            }
+        }
+        for t in hit {
+            st.tok_mut(t).freed_by.extend(sites.iter().copied());
+        }
+    }
+
     /// Demotes `site` to (at least) `v`; `Definite*` demotions emit one
     /// diagnostic, `Unknown` demotions record the first reason.
     fn demote(&mut self, site: u32, v: Verdict, use_span: Option<Span>, why: &str) {
@@ -616,6 +1020,23 @@ impl Linter {
                 );
             }
         }
+        // A marker into a freed heap region escaping means the freed
+        // objects may be reached from places this analysis cannot see.
+        for c in v.heap.iter().copied().collect::<Vec<_>>() {
+            let freed: Vec<u32> = st
+                .heap_freed
+                .get(&c)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            for site in freed {
+                self.demote(
+                    site,
+                    Verdict::Unknown,
+                    Some(at),
+                    "a pointer into a freed heap region escapes",
+                );
+            }
+        }
     }
 
     /// Records a dereference through `v` at `span`: demotes the free sites
@@ -626,7 +1047,11 @@ impl Linter {
         // were already demoted when they were freed (or when they escaped
         // after the free) — nothing new to learn.
         for t in v.toks.clone() {
-            let ts = st.tok_mut(t).clone();
+            let ts = {
+                let m = st.tok_mut(t);
+                m.used = true;
+                m.clone()
+            };
             if ts.freed_by.is_empty() {
                 continue;
             }
@@ -650,11 +1075,31 @@ impl Linter {
                 }
             }
         }
+        // A read through a marker touches some heap-reached object of the
+        // class: every region-level free of the class is a possible UAF.
+        for c in v.heap.iter().copied().collect::<Vec<_>>() {
+            if self.mode == LintMode::Inter {
+                self.acc_uses_heap.insert(c);
+            }
+            let freed: Vec<u32> = st
+                .heap_freed
+                .get(&c)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            for site in freed {
+                self.demote(
+                    site,
+                    Verdict::Unknown,
+                    Some(span),
+                    "a pointer into a freed heap region may be dereferenced",
+                );
+            }
+        }
     }
 
-    /// `malloc` at `site`: the previous most-recent object becomes part of
-    /// the `Old(site)` summary and a fresh live object is born.
-    fn do_malloc(&mut self, site: u32, st: &mut State) -> AbsPtr {
+    /// Demotes `Site(site)` to `Old(site)` in the token table and every
+    /// variable (the most-recent object is about to be superseded).
+    fn age_site(&mut self, site: u32, st: &mut State) {
         let fresh = Tok::Site(site);
         let old = Tok::Old(site);
         if let Some(prev) = st.toks.remove(&fresh) {
@@ -669,6 +1114,14 @@ impl Linter {
                 }
             }
         }
+    }
+
+    /// `malloc` at `site`: the previous most-recent object becomes part of
+    /// the `Old(site)` summary and a fresh live object is born.
+    fn do_malloc(&mut self, site: u32, st: &mut State) -> AbsPtr {
+        self.age_site(site, st);
+        self.acc_allocs.insert(site);
+        let fresh = Tok::Site(site);
         st.toks.insert(fresh, TokState::live());
         AbsPtr::fresh(fresh)
     }
@@ -697,8 +1150,32 @@ impl Linter {
             Expr::Field { base, span, .. } => {
                 let b = self.eval(base, st);
                 self.deref_use(&b, *span, st);
-                // Loaded values are escaped-or-unknown by construction.
-                AbsPtr::top()
+                if self.mode == LintMode::Intra {
+                    // Loaded values are escaped-or-unknown by construction.
+                    AbsPtr::top()
+                } else {
+                    match self.target_classes(&b) {
+                        Some(classes) => {
+                            // Field-insensitive: a load from class `c` may
+                            // yield a pointer into its pointee class. A
+                            // class without a known pointee holds no heap
+                            // pointers, so the load is a scalar.
+                            let mut heap = BTreeSet::new();
+                            for c in classes {
+                                if let Some(&d) = self.analysis.pointee_class.get(&c)
+                                {
+                                    heap.insert(d);
+                                }
+                            }
+                            if heap.is_empty() {
+                                AbsPtr::scalar()
+                            } else {
+                                AbsPtr::marker(heap)
+                            }
+                        }
+                        None => AbsPtr::top(),
+                    }
+                }
             }
             Expr::Binary { lhs, rhs, .. } => {
                 let l = self.eval(lhs, st);
@@ -706,24 +1183,389 @@ impl Linter {
                 let mut j = l.join(&r);
                 // Arithmetic results keep their targets (so later uses
                 // still demote) but are never unambiguous.
-                if !j.toks.is_empty() || j.top {
+                if !j.toks.is_empty() || j.top || !j.heap.is_empty() {
                     j.interior = true;
                     j.may_null = true;
                 }
                 j
             }
-            Expr::Call { args, .. } => {
-                for a in args {
-                    let v = self.eval(a, st);
-                    self.escape_value(&v, st, call_span(a));
+            Expr::Call { callee, args, span, .. } => {
+                let vals: Vec<AbsPtr> =
+                    args.iter().map(|a| self.eval(a, st)).collect();
+                if self.mode == LintMode::Intra {
+                    for (a, v) in args.iter().zip(&vals) {
+                        self.escape_value(v, st, call_span(a));
+                    }
+                    // The callee can use (and free) anything escaped; frees
+                    // of escaped objects were already demoted when they
+                    // escaped, so no extra demotion is needed here. The
+                    // return value can only be escaped-or-unknown.
+                    return AbsPtr::top();
                 }
-                // The callee can use (and free) anything escaped; frees of
-                // escaped objects were already demoted when they escaped,
-                // so no extra demotion is needed here. The return value
-                // can only be escaped-or-unknown.
-                AbsPtr::top()
+                let widened = self.widened.contains(callee.as_str());
+                if self.defined.contains(callee.as_str()) && !widened {
+                    let s = self
+                        .summaries
+                        .get(callee.as_str())
+                        .cloned()
+                        .unwrap_or_default();
+                    self.apply_summary(callee, &s, vals, *span, st)
+                } else {
+                    // Opaque (undefined or widened) callee: havoc.
+                    for (a, v) in args.iter().zip(&vals) {
+                        self.escape_value(v, st, call_span(a));
+                    }
+                    if let Some(tf) = self.transitive_frees.get(callee.as_str()) {
+                        let mut sites: Vec<u32> = tf.iter().copied().collect();
+                        sites.sort_unstable();
+                        for site in sites {
+                            self.demote(
+                                site,
+                                Verdict::Unknown,
+                                Some(*span),
+                                "freed within a call the analysis widened over",
+                            );
+                        }
+                    }
+                    if widened {
+                        let all: Vec<u32> =
+                            st.heap_freed.values().flatten().copied().collect();
+                        for site in all {
+                            self.demote(
+                                site,
+                                Verdict::Unknown,
+                                Some(*span),
+                                "a widened call may reach objects in a freed heap region",
+                            );
+                        }
+                    }
+                    AbsPtr::top()
+                }
             }
         }
+    }
+
+    /// Applies a callee's converged summary at a call site. The order of
+    /// effects over-approximates any interleaving the callee can perform:
+    /// alias guard → uses → heap uses → escapes → aging → parameter frees
+    /// → heap frees → return translation.
+    fn apply_summary(
+        &mut self,
+        callee: &str,
+        s: &FnSummary,
+        mut vals: Vec<AbsPtr>,
+        span: Span,
+        st: &mut State,
+    ) -> AbsPtr {
+        // (1) Aliased arguments: if the callee frees through one parameter
+        // and touches another, and the two arguments may target the same
+        // object, the per-parameter effects below would miss the
+        // cross-parameter UAF — demote the involved free sites instead.
+        let touches =
+            |e: &ParamEffect| e.used || e.escapes || !e.frees.is_empty();
+        for i in 0..s.params.len() {
+            for j in (i + 1)..s.params.len() {
+                let (ei, ej) = (&s.params[i], &s.params[j]);
+                let cross = (!ei.frees.is_empty() && touches(ej))
+                    || (!ej.frees.is_empty() && touches(ei));
+                if !cross {
+                    continue;
+                }
+                let (Some(vi), Some(vj)) = (vals.get(i), vals.get(j)) else {
+                    continue;
+                };
+                let alias = vi.toks.intersection(&vj.toks).next().is_some()
+                    || vi.heap.intersection(&vj.heap).next().is_some();
+                if alias {
+                    let sites: Vec<u32> =
+                        ei.frees.iter().chain(ej.frees.iter()).copied().collect();
+                    for site in sites {
+                        self.demote(
+                            site,
+                            Verdict::Unknown,
+                            Some(span),
+                            "two call arguments may alias; the callee frees one and touches the other",
+                        );
+                    }
+                }
+            }
+        }
+        // (2) Parameter uses. `used` is a may-fact, so definite claims are
+        // suppressed: a conditional use in the callee must not become a
+        // DefiniteUAF at the call site.
+        let saved = self.definite;
+        self.definite = false;
+        for (i, e) in s.params.iter().enumerate() {
+            if e.used {
+                if let Some(v) = vals.get(i).cloned() {
+                    self.deref_use(&v, span, st);
+                }
+            }
+        }
+        self.definite = saved;
+        // (3) Heap uses: the callee may traverse these classes.
+        for &c in &s.uses_heap {
+            self.acc_uses_heap.insert(c);
+            let freed: Vec<u32> = st
+                .heap_freed
+                .get(&c)
+                .map(|x| x.iter().copied().collect())
+                .unwrap_or_default();
+            for site in freed {
+                self.demote(
+                    site,
+                    Verdict::Unknown,
+                    Some(span),
+                    "the callee traverses a heap region containing freed objects",
+                );
+            }
+        }
+        // (4) Escapes.
+        for (i, e) in s.params.iter().enumerate() {
+            if e.escapes {
+                if let Some(v) = vals.get(i).cloned() {
+                    self.escape_value(&v, st, span);
+                }
+            }
+        }
+        // (5) Allocation aging: each transitively-executed malloc site
+        // supersedes the caller's most-recent object of that site.
+        for &m in &s.allocs {
+            self.age_site(m, st);
+            for v in vals.iter_mut() {
+                if v.toks.remove(&Tok::Site(m)) {
+                    v.toks.insert(Tok::Old(m));
+                }
+            }
+        }
+        self.acc_allocs.extend(s.allocs.iter().copied());
+        // (6) Parameter frees: discharge the callee's obligations against
+        // the caller's argument values.
+        for (i, e) in s.params.iter().enumerate() {
+            if e.frees.is_empty() {
+                continue;
+            }
+            if let Some(v) = vals.get(i).cloned() {
+                self.apply_free_to(&v, &e.frees, e.frees_must, span, st);
+            }
+        }
+        // (7) Heap frees (chain frees): merge into the caller's region
+        // state. Freeing an already-chain-freed region is a double free of
+        // its objects, so both generations demote.
+        for (c, sites) in &s.frees_heap {
+            let prior: Vec<u32> = st
+                .heap_freed
+                .get(c)
+                .map(|x| x.iter().copied().collect())
+                .unwrap_or_default();
+            if !prior.is_empty() {
+                for &x in prior.iter().chain(sites.iter()) {
+                    self.demote(
+                        x,
+                        Verdict::Unknown,
+                        Some(span),
+                        "a heap region is chain-freed twice; its objects may be freed again",
+                    );
+                }
+            }
+            st.heap_freed.entry(*c).or_default().extend(sites.iter().copied());
+            self.acc_frees_heap
+                .entry(*c)
+                .or_default()
+                .extend(sites.iter().copied());
+            let sv: Vec<u32> = sites.iter().copied().collect();
+            self.weak_free_escaped_of_class(*c, &sv, st);
+        }
+        // (8) Summary-chain attribution for the report.
+        let carried = s.carried_sites();
+        if !carried.is_empty() {
+            let hop = format!("{} -> {} at {}", self.func, callee, span);
+            for site in carried {
+                let chain = self.report.summary_chain.entry(site).or_default();
+                if chain.len() < 8 && !chain.iter().any(|e| e == &hop) {
+                    chain.push(hop.clone());
+                }
+            }
+        }
+        // (9) Return translation: substitute caller argument values for
+        // `Param(i)` tokens; the callee's own tokens carry over (aging in
+        // step 5 already retired the caller's stale generation).
+        match &s.ret {
+            Some(r) => self.translate_ret(r, &vals, st),
+            None => AbsPtr::scalar(),
+        }
+    }
+
+    /// Applies callee free obligations `sites` to one argument value —
+    /// the interprocedural mirror of [`Linter::do_free`].
+    fn apply_free_to(
+        &mut self,
+        v: &AbsPtr,
+        sites: &BTreeSet<u32>,
+        must: bool,
+        span: Span,
+        st: &mut State,
+    ) {
+        if v.top {
+            for &s in sites {
+                self.demote(
+                    s,
+                    Verdict::Unknown,
+                    Some(span),
+                    "a callee frees through an argument with unknown target",
+                );
+            }
+        }
+        if v.interior && !v.toks.is_empty() {
+            for &s in sites {
+                self.demote(
+                    s,
+                    Verdict::Unknown,
+                    Some(span),
+                    "a callee frees a derived pointer that may not be an object base",
+                );
+            }
+        }
+        if v.toks.len() + v.heap.len() > 1 {
+            for &s in sites {
+                self.demote(
+                    s,
+                    Verdict::Unknown,
+                    Some(span),
+                    "the callee's free target is ambiguous between several objects",
+                );
+            }
+        }
+        for t in v.toks.clone() {
+            let ts = st.tok_mut(t).clone();
+            // Strong free requires a must-free of an unambiguous target.
+            // `Param` tokens additionally enjoy free-modulo-null: a null
+            // argument makes the callee's free a runtime no-op, so
+            // may-null only blocks *claims*, not the may_live flip.
+            let strong = must
+                && !v.top
+                && !v.interior
+                && v.toks.len() == 1
+                && v.heap.is_empty()
+                && (matches!(t, Tok::Param(_)) || !v.may_null);
+            if strong && ts.must_freed() && self.definite && !v.may_null {
+                for &s in sites {
+                    self.demote(
+                        s,
+                        Verdict::DefiniteDoubleFree,
+                        Some(span),
+                        "the callee frees an object that is already freed on every path",
+                    );
+                }
+            } else if !ts.freed_by.is_empty() {
+                for &s in sites {
+                    self.demote(
+                        s,
+                        Verdict::Unknown,
+                        Some(span),
+                        "the object may already be freed when the callee frees it",
+                    );
+                }
+            }
+            for prev in ts.freed_by.iter().copied() {
+                self.demote(
+                    prev,
+                    Verdict::Unknown,
+                    Some(span),
+                    "the freed object is freed again through a call",
+                );
+            }
+            if ts.escaped {
+                for &s in sites {
+                    self.demote(
+                        s,
+                        Verdict::Unknown,
+                        Some(span),
+                        "a callee frees an object that escaped",
+                    );
+                }
+            }
+            if matches!(t, Tok::Old(_)) {
+                for &s in sites {
+                    self.demote(
+                        s,
+                        Verdict::Unknown,
+                        Some(span),
+                        "a callee frees an object summarized with older allocations",
+                    );
+                }
+            }
+            let ts = st.tok_mut(t);
+            ts.freed_by.extend(sites.iter().copied());
+            if strong {
+                ts.may_live = false;
+            }
+        }
+        for c in v.heap.iter().copied().collect::<Vec<_>>() {
+            for &s in sites {
+                self.demote(
+                    s,
+                    Verdict::Unknown,
+                    Some(span),
+                    "a callee frees an object loaded from the heap",
+                );
+            }
+            let prior: Vec<u32> = st
+                .heap_freed
+                .get(&c)
+                .map(|x| x.iter().copied().collect())
+                .unwrap_or_default();
+            for prev in prior {
+                self.demote(
+                    prev,
+                    Verdict::Unknown,
+                    Some(span),
+                    "an object in a freed heap region may be freed again",
+                );
+            }
+            st.heap_freed.entry(c).or_default().extend(sites.iter().copied());
+            self.acc_frees_heap
+                .entry(c)
+                .or_default()
+                .extend(sites.iter().copied());
+            let sv: Vec<u32> = sites.iter().copied().collect();
+            self.weak_free_escaped_of_class(c, &sv, st);
+        }
+    }
+
+    /// Instantiates a callee's return effect in the caller: `Param(i)`
+    /// tokens become the (aged) argument values, callee-local tokens carry
+    /// over as fresh caller-visible objects.
+    fn translate_ret(&mut self, r: &RetEffect, vals: &[AbsPtr], st: &mut State) -> AbsPtr {
+        let mut out = AbsPtr {
+            may_null: r.may_null,
+            top: r.top,
+            interior: r.interior,
+            toks: BTreeSet::new(),
+            heap: r.heap.clone(),
+        };
+        for t in &r.toks {
+            match t {
+                Tok::Param(i) => match vals.get(*i as usize) {
+                    Some(v) => {
+                        out.may_null |= v.may_null;
+                        out.top |= v.top;
+                        out.interior |= v.interior;
+                        out.toks.extend(v.toks.iter().copied());
+                        out.heap.extend(v.heap.iter().copied());
+                    }
+                    None => {
+                        out.top = true;
+                        out.may_null = true;
+                    }
+                },
+                Tok::Site(_) | Tok::Old(_) => {
+                    st.tok_mut(*t);
+                    out.toks.insert(*t);
+                }
+            }
+        }
+        out
     }
 
     fn do_free(
@@ -806,14 +1648,159 @@ impl Linter {
             }
             // Strong free only when the target is unambiguous AND the
             // pointer cannot be null (a null free is a runtime no-op that
-            // leaves the object live).
-            let strong = v.singleton() == Some(t);
+            // leaves the object live). `Param` tokens get free-modulo-null
+            // (a null argument makes the free a no-op in the caller too,
+            // which is exactly what `frees_must` promises).
+            let strong = v.singleton() == Some(t)
+                || (matches!(t, Tok::Param(_))
+                    && !v.top
+                    && !v.interior
+                    && v.toks.len() == 1
+                    && v.heap.is_empty());
             let ts = st.tok_mut(t);
             ts.freed_by.insert(site);
             if strong {
                 ts.may_live = false;
             }
         }
+        // Freeing through a heap marker frees *some* object of the class:
+        // never provably safe, and a second region-level free of the same
+        // class may double-free.
+        for c in v.heap.iter().copied().collect::<Vec<_>>() {
+            self.demote(
+                site,
+                Verdict::Unknown,
+                None,
+                "frees a pointer loaded from the heap",
+            );
+            let prior: Vec<u32> = st
+                .heap_freed
+                .get(&c)
+                .map(|x| x.iter().copied().collect())
+                .unwrap_or_default();
+            for prev in prior {
+                self.demote(
+                    prev,
+                    Verdict::Unknown,
+                    Some(span),
+                    "an object in the freed heap region may be freed again",
+                );
+            }
+            st.heap_freed.entry(c).or_default().insert(site);
+            if self.mode == LintMode::Inter {
+                self.acc_frees_heap.entry(c).or_default().insert(site);
+            }
+            self.weak_free_escaped_of_class(c, &[site], st);
+        }
+    }
+
+    /// Recognizes the linear chain-free idiom
+    /// `while (x != null) { var n = x->f; free(x); x = n; }` and, when the
+    /// class's heap shape makes it provably exhaustive-and-once, executes
+    /// its region-level effect without demoting the free site.
+    ///
+    /// Soundness: `fresh_store` guarantees every pointer stored into the
+    /// class's fields is a *freshly allocated* object (or null), so the
+    /// class's heap graph is a forest (in-degree ≤ 1, acyclic) — the
+    /// traversal visits each reachable object exactly once and terminates.
+    /// Exclusion from `global_classes` plus the pristine-entry checks rule
+    /// out any alias path to the freed objects other than (a) the entry
+    /// pointer itself (weakly freed below), (b) heap markers of the class
+    /// (demoted via `heap_freed` on any later use), and (c) escaped local
+    /// tokens stored into the region (weakly freed below).
+    fn try_chain_free(&mut self, cond: &Expr, body: &[Stmt], st: &mut State) -> bool {
+        if self.mode != LintMode::Inter {
+            return false;
+        }
+        let x = match cond {
+            Expr::Binary { op: BinOp::Ne, lhs, rhs } => {
+                match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::Var(x), Expr::Null) | (Expr::Null, Expr::Var(x)) => {
+                        x.clone()
+                    }
+                    _ => return false,
+                }
+            }
+            _ => return false,
+        };
+        let (n, site) = match body {
+            [Stmt::VarDecl {
+                name: n,
+                ty: Type::Ptr(_),
+                init: Some(Expr::Field { base, .. }),
+            }, Stmt::Free { expr: Expr::Var(fx), site, .. }, Stmt::Assign {
+                lhs: LValue::Var(ax),
+                rhs: Expr::Var(rn),
+            }] if matches!(base.as_ref(), Expr::Var(b) if *b == x)
+                && *fx == x
+                && *ax == x
+                && rn == n
+                && *n != x =>
+            {
+                (n.clone(), *site)
+            }
+            _ => return false,
+        };
+        let Some(v) = st.vars.get(&x).cloned() else { return false };
+        if v.top || v.interior {
+            return false;
+        }
+        // Entry pointer: pristine parameters and/or heap markers, all of
+        // one class.
+        let mut classes: BTreeSet<usize> = v.heap.iter().copied().collect();
+        for t in &v.toks {
+            if !matches!(t, Tok::Param(_)) {
+                return false;
+            }
+            if let Some(ts) = st.toks.get(t) {
+                if ts.escaped || !ts.freed_by.is_empty() {
+                    return false;
+                }
+            }
+            match self.tok_class(*t) {
+                Some(c) => {
+                    classes.insert(c);
+                }
+                None => return false,
+            }
+        }
+        if classes.len() != 1 {
+            return false;
+        }
+        let c = *classes.iter().next().unwrap();
+        if self.analysis.global_classes.contains(&c)
+            || !self.analysis.fresh_store.contains(&c)
+            || self.analysis.pointee_class.get(&c).copied() != Some(c)
+            || st.heap_freed.get(&c).is_some_and(|s| !s.is_empty())
+        {
+            return false;
+        }
+        // Effects: the traversal dereferences and weakly frees the entry
+        // object(s) and region-frees the class. The site itself stays
+        // ProvablySafe — that is the point of the rule.
+        for t in v.toks.iter().copied() {
+            let ts = st.tok_mut(t);
+            ts.used = true;
+            ts.freed_by.insert(site);
+        }
+        st.heap_freed.entry(c).or_default().insert(site);
+        self.acc_frees_heap.entry(c).or_default().insert(site);
+        self.acc_uses_heap.insert(c);
+        self.weak_free_escaped_of_class(c, &[site], st);
+        // Post-loop: the cursor is null; the scratch variable may hold a
+        // (possibly dangling) pointer into the region.
+        st.vars.insert(x, AbsPtr::scalar());
+        st.vars.insert(
+            n,
+            AbsPtr {
+                may_null: true,
+                top: true,
+                interior: true,
+                toks: BTreeSet::new(),
+                heap: [c].into_iter().collect(),
+            },
+        );
+        true
     }
 
     /// Transfers a statement sequence; `None` means every path returned.
@@ -870,6 +1857,12 @@ impl Linter {
                     }
                 }
                 Stmt::While { cond, body } => {
+                    if self.try_chain_free(cond, body, &mut st) {
+                        // Chain free handled as one region-level effect;
+                        // the loop body contains no returns by shape, so
+                        // `definite` is unaffected.
+                        continue;
+                    }
                     let saved = self.definite;
                     self.definite = false;
                     let mut acc = st;
@@ -892,10 +1885,58 @@ impl Linter {
                     self.definite = saved && !contains_return(body);
                 }
                 Stmt::Return(e) => {
+                    if self.mode == LintMode::Intra {
+                        if let Some(e) = e {
+                            let v = self.eval(e, &mut st);
+                            self.escape_value(&v, &mut st, Span::NONE);
+                        }
+                        return None;
+                    }
+                    // Interprocedural: the return value flows into the
+                    // summary's RetEffect instead of escaping — callers
+                    // apply it precisely.
                     if let Some(e) = e {
                         let v = self.eval(e, &mut st);
-                        self.escape_value(&v, &mut st, Span::NONE);
+                        let mut rv = v.clone();
+                        let mut poisoned = false;
+                        for t in v.toks.clone() {
+                            match t {
+                                Tok::Site(_) | Tok::Old(_) => {
+                                    let ts = st.tok_mut(t).clone();
+                                    // A freed local object becomes
+                                    // caller-reachable through the return.
+                                    let freed: Vec<u32> =
+                                        ts.freed_by.iter().copied().collect();
+                                    for site in freed {
+                                        self.demote(
+                                            site,
+                                            Verdict::Unknown,
+                                            None,
+                                            "a freed object is returned to the caller",
+                                        );
+                                    }
+                                    // An escaped local is also reachable
+                                    // some other way the caller cannot
+                                    // track: degrade to top.
+                                    if ts.escaped {
+                                        rv.toks.remove(&t);
+                                        poisoned = true;
+                                    }
+                                }
+                                Tok::Param(_) => {}
+                            }
+                        }
+                        if poisoned {
+                            rv.top = true;
+                            rv.may_null = true;
+                            rv.interior = true;
+                        }
+                        self.ret_acc = Some(match self.ret_acc.take() {
+                            None => rv,
+                            Some(prev) => prev.join(&rv),
+                        });
                     }
+                    self.exits.push(st.clone());
                     return None;
                 }
                 Stmt::Print(e) | Stmt::ExprStmt(e) => {
@@ -970,10 +2011,240 @@ mod tests {
         let prog = parse(crate::parse::FIGURE_1).unwrap();
         let a = analyze(&prog);
         let r = lint(&prog, &a);
-        // The free goes through a parameter: intraprocedurally unknown.
+        // Figure 1 is genuinely buggy: `p->next->val = 7` writes through a
+        // dangling pointer after `g` chain-frees the tail. Even the
+        // interprocedural analysis must keep the site protected (the
+        // dangling write reaches it through the heap-marker channel).
         assert_eq!(r.verdict(0), Verdict::Unknown);
         assert!(r.elidable_classes.is_empty());
         assert!(r.is_clean(), "no false definite findings: {}", r.render());
+        // Intraprocedurally the verdict is the same, for a blunter reason.
+        let ri = lint_intra(&prog, &a);
+        assert_eq!(ri.verdict(0), Verdict::Unknown);
+    }
+
+    #[test]
+    fn must_free_through_callee_claims_definite_uaf_in_caller() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn kill(p: ptr<s>) { free(p); }
+             fn main() {
+               var p: ptr<s> = malloc(s);
+               kill(p);
+               print(p->v);
+             }",
+        );
+        // The callee must-frees its argument; the caller's dereference is
+        // definite.
+        assert_eq!(r.verdict(0), Verdict::DefiniteUAF);
+        assert!(r.render().contains("definite use-after-free"), "{}", r.render());
+        // The chain is attributed.
+        assert!(
+            r.summary_chain.get(&0).is_some_and(|c| c[0].contains("main -> kill")),
+            "{:?}",
+            r.summary_chain
+        );
+    }
+
+    #[test]
+    fn double_free_through_callees_is_definite() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn kill(p: ptr<s>) { free(p); }
+             fn main() {
+               var p: ptr<s> = malloc(s);
+               kill(p);
+               kill(p);
+             }",
+        );
+        assert_eq!(r.verdict(0), Verdict::DefiniteDoubleFree);
+        assert!(r.render().contains("definite double free"), "{}", r.render());
+    }
+
+    #[test]
+    fn conditionally_freeing_callee_stays_unknown() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn maybe(p: ptr<s>, flag: int) { if (flag > 0) { free(p); } }
+             fn main() {
+               var p: ptr<s> = malloc(s);
+               maybe(p, 0);
+               print(p->v);
+             }",
+        );
+        // May-free + may-use: never definite, never safe.
+        assert_eq!(r.verdict(0), Verdict::Unknown);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn helper_session_loop_is_safe_inter_but_unknown_intra() {
+        let src = "struct sess { n: int }
+             fn open_session(id: int) -> ptr<sess> {
+               var s: ptr<sess> = malloc(sess);
+               s->n = id;
+               return s;
+             }
+             fn touch(s: ptr<sess>) { s->n = s->n + 1; }
+             fn close_session(s: ptr<sess>) { free(s); }
+             fn main() {
+               var i: int = 0;
+               while (i < 4) {
+                 var s: ptr<sess> = open_session(i);
+                 touch(s);
+                 close_session(s);
+                 i = i + 1;
+               }
+             }";
+        let prog = parse(src).unwrap();
+        let a = analyze(&prog);
+        let inter = lint(&prog, &a);
+        assert_eq!(inter.verdict(0), Verdict::ProvablySafe, "{:?}", inter.reasons);
+        assert_eq!(inter.elidable_classes.len(), 1);
+        assert!(inter.is_clean(), "{}", inter.render());
+        let intra = lint_intra(&prog, &a);
+        assert_eq!(intra.verdict(0), Verdict::Unknown);
+        assert!(intra.elidable_classes.is_empty());
+    }
+
+    #[test]
+    fn chain_free_of_fresh_forest_is_safe() {
+        // free_all_but_head over a locally built list: the traversal free
+        // is provably exhaustive-and-once.
+        let r = lint_src(
+            "struct node { val: int, next: ptr<node> }
+             fn drain(p: ptr<node>) {
+               var x: ptr<node> = p->next;
+               while (x != null) {
+                 var n: ptr<node> = x->next;
+                 free(x);
+                 x = n;
+               }
+             }
+             fn main() {
+               var head: ptr<node> = malloc(node);
+               var cur: ptr<node> = head;
+               var i: int = 0;
+               while (i < 3) {
+                 cur->next = malloc(node);
+                 cur = cur->next;
+                 i = i + 1;
+               }
+               cur->next = null;
+               drain(head);
+               print(head->val);
+               free(head);
+             }",
+        );
+        for (site, v) in &r.verdicts {
+            assert_eq!(
+                *v,
+                Verdict::ProvablySafe,
+                "site {site}: {:?}",
+                r.reasons.get(site)
+            );
+        }
+        // Both the chain site and free(head) are elided.
+        assert!(r.unchecked_free_sites.contains(&0), "{:?}", r.unchecked_free_sites);
+        assert!(r.unchecked_free_sites.contains(&1), "{:?}", r.unchecked_free_sites);
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn use_after_chain_free_demotes_the_chain_site() {
+        // Same drain, but main touches a chained node afterwards: the
+        // heap-marker channel must demote the traversal's free site.
+        let r = lint_src(
+            "struct node { val: int, next: ptr<node> }
+             fn drain(p: ptr<node>) {
+               var x: ptr<node> = p->next;
+               while (x != null) {
+                 var n: ptr<node> = x->next;
+                 free(x);
+                 x = n;
+               }
+             }
+             fn main() {
+               var head: ptr<node> = malloc(node);
+               head->next = malloc(node);
+               drain(head);
+               print(head->next->val);
+             }",
+        );
+        assert_eq!(r.verdict(0), Verdict::Unknown, "{:?}", r.reasons);
+        assert!(!r.unchecked_free_sites.contains(&0));
+        assert!(r.is_clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn recursive_burner_converges_and_is_safe() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn burn(n: int) {
+               if (n == 0) { return; }
+               var p: ptr<s> = malloc(s);
+               p->v = n;
+               free(p);
+               burn(n - 1);
+             }
+             fn main() { burn(5); }",
+        );
+        assert_eq!(r.verdict(0), Verdict::ProvablySafe, "{:?}", r.reasons);
+        assert_eq!(r.elidable_classes.len(), 1);
+    }
+
+    #[test]
+    fn mutually_recursive_frees_converge_and_are_safe() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn even(n: int) {
+               if (n == 0) { return; }
+               var p: ptr<s> = malloc(s);
+               free(p);
+               odd(n - 1);
+             }
+             fn odd(n: int) {
+               if (n == 0) { return; }
+               var q: ptr<s> = malloc(s);
+               free(q);
+               even(n - 1);
+             }
+             fn main() { even(6); }",
+        );
+        assert_eq!(r.verdict(0), Verdict::ProvablySafe, "{:?}", r.reasons);
+        assert_eq!(r.verdict(1), Verdict::ProvablySafe, "{:?}", r.reasons);
+        // even's and odd's objects are distinct classes; both elide.
+        assert_eq!(r.elidable_classes.len(), 2);
+    }
+
+    #[test]
+    fn aliased_arguments_block_safety() {
+        let r = lint_src(
+            "struct s { v: int }
+             fn kill_use(a: ptr<s>, b: ptr<s>) { free(a); print(b->v); }
+             fn main() {
+               var p: ptr<s> = malloc(s);
+               kill_use(p, p);
+             }",
+        );
+        // Both parameters target the same object: the callee's free is a
+        // runtime UAF when `b->v` reads it back.
+        assert_eq!(r.verdict(0), Verdict::Unknown, "{:?}", r.reasons);
+        assert!(r.elidable_classes.is_empty());
+    }
+
+    #[test]
+    fn report_json_has_schema_and_site_rows() {
+        let prog = parse(crate::parse::FIGURE_1).unwrap();
+        let a = analyze(&prog);
+        let r = lint(&prog, &a);
+        let j = r.to_json(&a);
+        assert_eq!(j.get("schema_version").and_then(|v| v.as_i64()), Some(1));
+        assert_eq!(j.get("mode").and_then(|v| v.as_str()), Some("inter"));
+        let sites = j.get("sites").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(sites.len(), r.verdicts.len());
+        assert!(sites[0].get("verdict").is_some());
+        assert!(j.get("counts").and_then(|c| c.get("safe")).is_some());
     }
 
     #[test]

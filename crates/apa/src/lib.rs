@@ -38,18 +38,27 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod callgraph;
 pub mod corpus;
 pub mod dataflow;
 pub mod lex;
 pub mod parse;
 pub mod pretty;
+pub mod summary;
 pub mod transform;
 pub mod validate;
 
 pub use analysis::{analyze, Analysis, HeapClass};
 pub use ast::{BinOp, Expr, FuncDef, LValue, Program, Span, Stmt, StructDef, Type};
-pub use dataflow::{lint, stamp_unchecked, Diagnostic, LintReport, Verdict};
+pub use callgraph::CallGraph;
+pub use dataflow::{
+    lint, lint_intra, lint_with_mode, stamp_unchecked, Diagnostic, LintMode,
+    LintReport, Verdict,
+};
+pub use summary::{FnSummary, ParamEffect, RetEffect};
 pub use parse::{parse, ParseError, FIGURE_1};
 pub use pretty::to_source;
-pub use transform::{pool_allocate, pool_allocate_with_lint, pool_name};
+pub use transform::{
+    pool_allocate, pool_allocate_with_lint, pool_allocate_with_lint_mode, pool_name,
+};
 pub use validate::{validate, ValidateError};

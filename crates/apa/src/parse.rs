@@ -401,7 +401,7 @@ impl Parser {
                         }
                     }
                     self.expect_punct(Punct::RParen)?;
-                    Ok(Expr::Call { callee: name, args, pool_args: Vec::new() })
+                    Ok(Expr::Call { callee: name, args, pool_args: Vec::new(), span })
                 } else {
                     Ok(Expr::Var(name))
                 }

@@ -148,7 +148,7 @@ fn expr(e: &Expr) -> String {
         Expr::Binary { op, lhs, rhs } => {
             format!("({} {} {})", expr(lhs), op_str(*op), expr(rhs))
         }
-        Expr::Call { callee, args, pool_args } => {
+        Expr::Call { callee, args, pool_args, .. } => {
             let mut parts: Vec<String> = args.iter().map(expr).collect();
             parts.extend(pool_args.iter().cloned());
             format!("{callee}({})", parts.join(", "))

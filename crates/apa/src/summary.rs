@@ -1,0 +1,140 @@
+//! Per-function free/alias summaries for the interprocedural lint.
+//!
+//! A [`FnSummary`] is the callee-side abstraction the caller applies at a
+//! call site instead of havocking its arguments: which parameters the
+//! function may dereference, free (and whether it *must* free them when
+//! they are non-null), or leak into heap/global storage; which malloc
+//! sites it may execute (so the caller ages its recency tokens); which
+//! heap classes it may free or traverse through loads; and what it
+//! returns, expressed over the same token vocabulary with `Param(i)`
+//! standing for "whatever the caller passed as argument `i`".
+//!
+//! Summaries form a finite join-semilattice (all sets grow, all flags are
+//! sticky), so the bottom-up SCC fixpoint in [`crate::dataflow`]
+//! terminates; an iteration cap triggers a sound widening that reverts the
+//! whole SCC to the intraprocedural havoc treatment (arguments escape,
+//! every transitively-contained free site is demoted).
+
+use crate::dataflow::Tok;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// May/must effects of a function on one of its parameters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParamEffect {
+    /// The parameter's target may be dereferenced (read or written).
+    pub used: bool,
+    /// Free sites that may free the parameter's target.
+    pub frees: BTreeSet<u32>,
+    /// On every path, a non-null argument's target is freed by the time
+    /// the function returns (null arguments are a runtime no-op).
+    pub frees_must: bool,
+    /// The parameter may become reachable from heap fields, globals or
+    /// the return value's transitive closure.
+    pub escapes: bool,
+}
+
+/// Abstract return value in summary space: a joined [`crate::dataflow`]
+/// pointer value whose `Param(i)` tokens the caller substitutes with its
+/// argument values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetEffect {
+    /// May be null (or the function is void / returns an integer).
+    pub may_null: bool,
+    /// Unknown target.
+    pub top: bool,
+    /// May not point at an object base.
+    pub interior: bool,
+    /// Token targets (`Site`/`Old` of sites in [`FnSummary::allocs`], or
+    /// `Param(i)`).
+    pub toks: BTreeSet<Tok>,
+    /// Heap-content classes the value may point into.
+    pub heap: BTreeSet<usize>,
+}
+
+/// Everything a caller needs to model a call soundly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Effect per value parameter, positionally.
+    pub params: Vec<ParamEffect>,
+    /// Malloc sites the function (transitively) may execute — the caller
+    /// demotes its `Site(m)` tokens to `Old(m)` for each.
+    pub allocs: BTreeSet<u32>,
+    /// class -> free sites that may free *heap-reached* objects of the
+    /// class (linear-traversal frees and frees of loaded pointers).
+    pub frees_heap: BTreeMap<usize, BTreeSet<u32>>,
+    /// Classes whose heap-reached objects the function may dereference.
+    pub uses_heap: BTreeSet<usize>,
+    /// Return value, `None` for void/never-returning-a-pointer paths.
+    pub ret: Option<RetEffect>,
+}
+
+impl FnSummary {
+    /// Every free site the summary can charge to a call of this function
+    /// (param-level and heap-level), for summary-chain attribution.
+    pub fn carried_sites(&self) -> BTreeSet<u32> {
+        let mut out = BTreeSet::new();
+        for e in &self.params {
+            out.extend(e.frees.iter().copied());
+        }
+        for sites in self.frees_heap.values() {
+            out.extend(sites.iter().copied());
+        }
+        out
+    }
+
+    /// One-line human rendering for diagnostics and the CLI.
+    pub fn render(&self, name: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (i, e) in self.params.iter().enumerate() {
+            let mut bits: Vec<&str> = Vec::new();
+            if e.used {
+                bits.push("uses");
+            }
+            if e.escapes {
+                bits.push("escapes");
+            }
+            let frees;
+            if !e.frees.is_empty() {
+                frees = format!(
+                    "{}frees {:?}",
+                    if e.frees_must { "must-" } else { "may-" },
+                    e.frees.iter().collect::<Vec<_>>()
+                );
+                bits.push(&frees);
+            }
+            if !bits.is_empty() {
+                parts.push(format!("p{i}: {}", bits.join("+")));
+            }
+        }
+        if !self.allocs.is_empty() {
+            parts.push(format!("allocs {:?}", self.allocs.iter().collect::<Vec<_>>()));
+        }
+        for (c, sites) in &self.frees_heap {
+            parts.push(format!(
+                "frees-heap class{c} {:?}",
+                sites.iter().collect::<Vec<_>>()
+            ));
+        }
+        if !self.uses_heap.is_empty() {
+            parts.push(format!(
+                "uses-heap {:?}",
+                self.uses_heap.iter().collect::<Vec<_>>()
+            ));
+        }
+        if let Some(r) = &self.ret {
+            let mut v: Vec<String> = r.toks.iter().map(|t| format!("{t:?}")).collect();
+            v.extend(r.heap.iter().map(|c| format!("heap(class{c})")));
+            if r.top {
+                v.push("top".into());
+            }
+            if r.may_null {
+                v.push("null?".into());
+            }
+            parts.push(format!("ret {}", v.join("|")));
+        }
+        if parts.is_empty() {
+            parts.push("pure".into());
+        }
+        format!("{name}({})", parts.join("; "))
+    }
+}

@@ -46,8 +46,18 @@ pub fn pool_allocate(prog: &Program) -> (Program, Analysis) {
 pub fn pool_allocate_with_lint(
     prog: &Program,
 ) -> (Program, Analysis, crate::dataflow::LintReport) {
+    pool_allocate_with_lint_mode(prog, crate::dataflow::LintMode::Inter)
+}
+
+/// [`pool_allocate_with_lint`] with an explicit [`crate::dataflow::LintMode`],
+/// for measuring what the interprocedural layer buys over the
+/// intraprocedural one.
+pub fn pool_allocate_with_lint_mode(
+    prog: &Program,
+    mode: crate::dataflow::LintMode,
+) -> (Program, Analysis, crate::dataflow::LintReport) {
     let (mut out, analysis) = pool_allocate(prog);
-    let report = crate::dataflow::lint(prog, &analysis);
+    let report = crate::dataflow::lint_with_mode(prog, &analysis, mode);
     crate::dataflow::stamp_unchecked(&mut out, &report);
     (out, analysis, report)
 }
@@ -146,7 +156,7 @@ fn rewrite_expr(e: &mut Expr, a: &Analysis) {
             rewrite_expr(lhs, a);
             rewrite_expr(rhs, a);
         }
-        Expr::Call { callee, args, pool_args } => {
+        Expr::Call { callee, args, pool_args, .. } => {
             for arg in args.iter_mut() {
                 rewrite_expr(arg, a);
             }

@@ -91,7 +91,7 @@ impl Checker<'_> {
                 self.check_expr(lhs, scope);
                 self.check_expr(rhs, scope);
             }
-            Expr::Call { callee, args, pool_args } => {
+            Expr::Call { callee, args, pool_args, .. } => {
                 for a in args {
                     self.check_expr(a, scope);
                 }
@@ -260,8 +260,14 @@ fn check_free_sites(
             }
         }
     }
-    let analysis =
-        if require_pools { None } else { Some(crate::analysis::analyze(prog)) };
+    let analysis = if require_pools {
+        None
+    } else {
+        Some(crate::analysis::analyze(prog))
+    };
+    if let Some(a) = &analysis {
+        check_calls_into_classless_frees(prog, a, errors);
+    }
     let mut seen: HashMap<u32, Span> = HashMap::new();
     for func in &prog.funcs {
         walk(&func.body, &mut |s| {
@@ -285,6 +291,152 @@ fn check_free_sites(
                         message: format!(
                             "free (site {site}) of a pointer whose class has no \
                              allocation site: it can only ever be null"
+                        ),
+                    });
+                }
+            }
+        });
+    }
+}
+
+/// Walks every statement of a body, visiting each contained expression.
+fn walk_exprs<'p>(stmts: &'p [Stmt], f: &mut impl FnMut(&'p Expr)) {
+    fn expr<'p>(e: &'p Expr, f: &mut impl FnMut(&'p Expr)) {
+        f(e);
+        match e {
+            Expr::MallocArray { count, .. } => expr(count, f),
+            Expr::Index { base, index } => {
+                expr(base, f);
+                expr(index, f);
+            }
+            Expr::Field { base, .. } => expr(base, f),
+            Expr::Binary { lhs, rhs, .. } => {
+                expr(lhs, f);
+                expr(rhs, f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    expr(a, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { init: Some(e), .. } => expr(e, f),
+            Stmt::Assign { lhs, rhs } => {
+                if let LValue::Field { base, .. } = lhs {
+                    expr(base, f);
+                }
+                expr(rhs, f);
+            }
+            Stmt::Free { expr: e, .. } => expr(e, f),
+            Stmt::If { cond, then, els } => {
+                expr(cond, f);
+                walk_exprs(then, f);
+                walk_exprs(els, f);
+            }
+            Stmt::While { cond, body } => {
+                expr(cond, f);
+                walk_exprs(body, f);
+            }
+            Stmt::Return(Some(e)) | Stmt::Print(e) | Stmt::ExprStmt(e) => expr(e, f),
+            _ => {}
+        }
+    }
+}
+
+/// Transitive fixpoint of `(function, param index)` pairs where the
+/// function may free its parameter through a free site the analysis could
+/// not class — i.e. the freed pointer's alias class contains no allocation
+/// site anywhere in the program. Direct case: `free(p)` of the parameter
+/// itself with no `free_class` entry; transitive case: the parameter is
+/// forwarded into an already-flagged position of a callee.
+fn classless_param_frees(
+    prog: &Program,
+    a: &crate::analysis::Analysis,
+) -> HashSet<(String, usize)> {
+    let mut flagged: HashSet<(String, usize)> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for f in &prog.funcs {
+            let param_idx = |name: &str| -> Option<usize> {
+                f.params.iter().position(|(p, _)| p == name)
+            };
+            let mut found: Vec<usize> = Vec::new();
+            fn frees<'p>(stmts: &'p [Stmt], g: &mut impl FnMut(&'p Stmt)) {
+                for s in stmts {
+                    match s {
+                        Stmt::Free { .. } => g(s),
+                        Stmt::If { then, els, .. } => {
+                            frees(then, g);
+                            frees(els, g);
+                        }
+                        Stmt::While { body, .. } => frees(body, g),
+                        _ => {}
+                    }
+                }
+            }
+            frees(&f.body, &mut |s| {
+                let Stmt::Free { expr: Expr::Var(v), site, .. } = s else { return };
+                if !a.free_class.contains_key(site) {
+                    if let Some(i) = param_idx(v) {
+                        found.push(i);
+                    }
+                }
+            });
+            walk_exprs(&f.body, &mut |e| {
+                let Expr::Call { callee, args, .. } = e else { return };
+                for (j, arg) in args.iter().enumerate() {
+                    let Expr::Var(v) = arg else { continue };
+                    if flagged.contains(&(callee.clone(), j)) {
+                        if let Some(i) = param_idx(v) {
+                            found.push(i);
+                        }
+                    }
+                }
+            });
+            for i in found {
+                changed |= flagged.insert((f.name.clone(), i));
+            }
+        }
+        if !changed {
+            return flagged;
+        }
+    }
+}
+
+/// Source-mode call-site check paired with the class-less free check
+/// above: a call that passes a non-null argument into a `(callee, param)`
+/// position that (transitively) frees a never-allocated class contradicts
+/// the callee's own free behaviour — nothing but null can ever legally
+/// flow there, so the caller is the real bug site. Attributes a spanned
+/// error at each offending call.
+fn check_calls_into_classless_frees(
+    prog: &Program,
+    a: &crate::analysis::Analysis,
+    errors: &mut Vec<ValidateError>,
+) {
+    let flagged = classless_param_frees(prog, a);
+    if flagged.is_empty() {
+        return;
+    }
+    for f in &prog.funcs {
+        walk_exprs(&f.body, &mut |e| {
+            let Expr::Call { callee, args, span, .. } = e else { return };
+            for (j, arg) in args.iter().enumerate() {
+                if matches!(arg, Expr::Null) {
+                    continue;
+                }
+                if flagged.contains(&(callee.clone(), j)) {
+                    errors.push(ValidateError {
+                        func: f.name.clone(),
+                        span: *span,
+                        message: format!(
+                            "call passes argument {j} to `{callee}`, which \
+                             (transitively) frees it, but the argument's class \
+                             has no allocation site: it can only ever be null"
                         ),
                     });
                 }
@@ -445,6 +597,47 @@ fn main() {
         // With a malloc in the class, the same shape is fine.
         let ok = "struct s { v: int }
                   fn main() { var p: ptr<s> = malloc(s); free(p); }";
+        validate(&parse(ok).unwrap(), false).unwrap();
+    }
+
+    #[test]
+    fn call_into_classless_free_rejected_at_call_site() {
+        let src = "struct s { v: int }
+fn kill(p: ptr<s>) { free(p); }
+fn outer(p: ptr<s>) { kill(p); }
+fn main() {
+    var p: ptr<s> = null;
+    outer(p);
+}";
+        let errs = validate(&parse(src).unwrap(), false).unwrap_err();
+        // The free site itself is flagged (existing check)...
+        assert!(
+            errs.iter().any(|e| e.to_string().contains("no allocation site")),
+            "{errs:?}"
+        );
+        // ...and so is every call forwarding into it, spanned at the call.
+        let call_errs: Vec<&ValidateError> = errs
+            .iter()
+            .filter(|e| e.message.contains("(transitively) frees"))
+            .collect();
+        assert_eq!(call_errs.len(), 2, "{errs:?}");
+        let in_main = call_errs.iter().find(|e| e.func == "main").expect("main call flagged");
+        assert_eq!(in_main.span.line, 6);
+        let in_outer =
+            call_errs.iter().find(|e| e.func == "outer").expect("outer call flagged");
+        assert_eq!(in_outer.span.line, 3);
+
+        // Passing a literal null into the same position stays legal.
+        let ok_null = "struct s { v: int }
+                       fn kill(p: ptr<s>) { free(null); }
+                       fn main() { kill(null); }";
+        validate(&parse(ok_null).unwrap(), false).unwrap();
+
+        // Once the class has an allocation site, the callee's free is
+        // classed and no call-site error fires.
+        let ok = "struct s { v: int }
+                  fn kill(p: ptr<s>) { free(p); }
+                  fn main() { var p: ptr<s> = malloc(s); kill(p); }";
         validate(&parse(ok).unwrap(), false).unwrap();
     }
 

@@ -1,29 +1,40 @@
-//! **lintperf** — what the dangle-lint elision pass buys at runtime.
+//! **lintperf** — what the dangle-lint elision pass buys at runtime,
+//! split by analysis precision.
 //!
 //! Runs a suite of MiniC programs — server-style session loops modelled on
-//! the Table 1 servers (fingerd/ftpd/ghttpd), the paper's Figure 1 running
-//! example, and an injected-UAF corpus — through the full pipeline twice:
+//! the Table 1 servers (fingerd/ftpd/ghttpd, plus keep-alive and
+//! helper-factored variants), the paper's Figure 1 running example (buggy
+//! and fixed), and an injected-UAF corpus — through the full pipeline
+//! three times:
 //!
 //! * **off**: [`pool_allocate`] only — every site keeps shadow protection;
-//! * **on**: [`pool_allocate_with_lint`] — `ProvablySafe` classes are
-//!   stamped `unchecked` and the shadow-pool backend routes them straight
-//!   to the pool allocator (no shadow alias, no `PROT_NONE`).
+//! * **intra**: [`pool_allocate_with_lint_mode`] with [`LintMode::Intra`]
+//!   — the flow-sensitive analysis stops at function boundaries;
+//! * **inter**: [`LintMode::Inter`] — function summaries propagated over
+//!   the call graph let frees behind helper calls be proven safe.
 //!
 //! Asserted on every program: detection results and program output are
-//! identical with the pass on and off (the elision is behaviour-preserving
-//! by the lint soundness argument, and this binary re-proves it), no clean
-//! program is flagged `Definite*`, and on at least one server workload the
-//! `mremap`+`mprotect` syscall count is *strictly* lower with the pass on.
+//! identical across all three modes (the elision is behaviour-preserving
+//! by the lint soundness argument, and this binary re-proves it); on
+//! detecting programs the *trap report text* is byte-identical across
+//! modes and across both engines; no clean program is flagged `Definite*`;
+//! inter is never less precise than intra (safe-site count and shadow
+//! syscalls); `fingerd` reaches **zero** shadow syscalls under inter; and
+//! at least one server workload flips Unknown→Safe only when summaries
+//! are on (the interprocedural delta).
 //!
 //! ```text
 //! cargo run --release -p dangle-bench --bin lintperf
 //! ```
 //!
 //! `LINTPERF_QUICK=1` shrinks the session loops for CI smoke runs. The
-//! artifact (`BENCH_lintperf.json`) carries per-workload verdict counts,
-//! syscall/cycle deltas, and the `shadow.elided` telemetry counter.
+//! artifact (`BENCH_lintperf.json`) carries per-workload, per-mode verdict
+//! counts and syscall/cycle deltas.
 
-use dangle_apa::{corpus, parse, pool_allocate, pool_allocate_with_lint, LintReport, FIGURE_1};
+use dangle_apa::{
+    corpus, parse, pool_allocate, pool_allocate_with_lint_mode, LintMode, LintReport,
+    FIGURE_1,
+};
 use dangle_bench::{render_table, Artifact};
 use dangle_interp::backend::ShadowPoolBackend;
 use dangle_interp::{is_detection, run_with, Engine};
@@ -56,9 +67,21 @@ fn suite(quick: bool) -> Vec<Program> {
             expect_detection: false,
         },
         Program {
+            name: "ftpd-helper",
+            kind: "server",
+            src: corpus::ftpd_helper(n / 2),
+            expect_detection: false,
+        },
+        Program {
             name: "ghttpd",
             kind: "server",
             src: corpus::ghttpd(n / 2),
+            expect_detection: false,
+        },
+        Program {
+            name: "ghttpd-keepalive",
+            kind: "server",
+            src: corpus::ghttpd_keepalive(n / 20, 10),
             expect_detection: false,
         },
         Program {
@@ -67,8 +90,15 @@ fn suite(quick: bool) -> Vec<Program> {
             src: FIGURE_1.to_string(),
             expect_detection: true,
         },
+        Program {
+            name: "figure1-fixed",
+            kind: "figure1",
+            src: corpus::figure1_fixed(),
+            expect_detection: false,
+        },
     ];
-    // Injected-UAF corpus: the detector must fire identically on and off.
+    // Injected-UAF corpus: the detector must fire identically in every
+    // mode and on every engine.
     for (name, src) in corpus::injected_uafs() {
         v.push(Program {
             name,
@@ -80,26 +110,38 @@ fn suite(quick: bool) -> Vec<Program> {
     v
 }
 
-/// One measured run. `lint_on` selects the pipeline; the lint counters
-/// (`lint.sites_*`) are published into the machine's telemetry from the
-/// report so they land in the same metrics snapshot as `shadow.elided`.
+/// One measured run. `mode` selects the pipeline (`None` = lint off); the
+/// lint counters (`lint.sites_*`) are published into the machine's
+/// telemetry from the report so they land in the same metrics snapshot as
+/// `shadow.elided`.
 struct RunResult {
     output: Vec<i64>,
     detected: bool,
+    /// Full trap/detection report text, for byte-identity assertions.
+    trap: Option<String>,
     stats: MachineStats,
     cycles: u64,
     elided: u64,
     report: Option<LintReport>,
 }
 
-fn run_once(src: &str, lint_on: bool, engine: Engine) -> RunResult {
+impl RunResult {
+    fn shadow_syscalls(&self) -> u64 {
+        self.stats.mremap_calls + self.stats.mprotect_calls
+    }
+}
+
+fn run_once(src: &str, mode: Option<LintMode>, engine: Engine) -> RunResult {
     let prog = parse(src).expect("suite program parses");
-    let (transformed, report) = if lint_on {
-        let (t, _, r) = pool_allocate_with_lint(&prog);
-        (t, Some(r))
-    } else {
-        let (t, _) = pool_allocate(&prog);
-        (t, None)
+    let (transformed, report) = match mode {
+        Some(m) => {
+            let (t, _, r) = pool_allocate_with_lint_mode(&prog, m);
+            (t, Some(r))
+        }
+        None => {
+            let (t, _) = pool_allocate(&prog);
+            (t, None)
+        }
     };
     let mut m = Machine::new();
     if let Some(r) = &report {
@@ -109,14 +151,16 @@ fn run_once(src: &str, lint_on: bool, engine: Engine) -> RunResult {
         t.counter_add("lint.sites_flagged", r.sites_flagged());
     }
     let mut b = ShadowPoolBackend::new();
-    let (output, detected) = match run_with(engine, &transformed, &mut m, &mut b, FUEL) {
-        Ok(o) => (o.output, false),
-        Err(e) if is_detection(&e) => (Vec::new(), true),
+    let (output, detected, trap) = match run_with(engine, &transformed, &mut m, &mut b, FUEL)
+    {
+        Ok(o) => (o.output, false, None),
+        Err(e) if is_detection(&e) => (Vec::new(), true, Some(e.to_string())),
         Err(e) => panic!("unexpected runtime error: {e}"),
     };
     RunResult {
         output,
         detected,
+        trap,
         stats: *m.stats(),
         cycles: m.clock(),
         elided: m.metrics_snapshot().counter("shadow.elided"),
@@ -124,66 +168,120 @@ fn run_once(src: &str, lint_on: bool, engine: Engine) -> RunResult {
     }
 }
 
-/// Re-runs the lint-on pipeline under the bytecode engine and asserts the
-/// observables — output, detection verdict, elision counter, and the full
-/// simulated cycle count on the calibrated machine — match the AST run.
-/// Proves the lint `unchecked` stamps survive compilation to bytecode.
+/// Re-runs the inter-mode pipeline under the bytecode engine and asserts
+/// the observables — output, detection verdict, trap report, elision
+/// counter, and the full simulated cycle count on the calibrated machine —
+/// match the AST run. Proves the lint `unchecked` stamps survive
+/// compilation to bytecode.
 fn assert_engines_identical(name: &str, src: &str, ast: &RunResult) {
-    let bc = run_once(src, true, Engine::Bytecode);
+    let bc = run_once(src, Some(LintMode::Inter), Engine::Bytecode);
     assert_eq!(ast.output, bc.output, "{name}: engine output diverged");
     assert_eq!(ast.detected, bc.detected, "{name}: engine detection diverged");
+    assert_eq!(ast.trap, bc.trap, "{name}: engine trap report diverged");
     assert_eq!(ast.elided, bc.elided, "{name}: engine elision diverged");
     assert_eq!(ast.cycles, bc.cycles, "{name}: engine cycles diverged");
+}
+
+fn mode_json(r: &RunResult) -> Json {
+    let mut fields = vec![
+        ("elided".into(), Json::from_u64(r.elided)),
+        ("shadow_syscalls".into(), Json::from_u64(r.shadow_syscalls())),
+        ("total_syscalls".into(), Json::from_u64(r.stats.total_syscalls())),
+        ("cycles".into(), Json::from_u64(r.cycles)),
+    ];
+    if let Some(rep) = &r.report {
+        fields.push(("sites_safe".into(), Json::from_u64(rep.sites_safe())));
+        fields.push(("sites_unknown".into(), Json::from_u64(rep.sites_unknown())));
+        fields.push(("sites_flagged".into(), Json::from_u64(rep.sites_flagged())));
+    }
+    Json::Obj(fields)
 }
 
 fn main() {
     let quick = std::env::var("LINTPERF_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
     let programs = suite(quick);
 
-    println!("lintperf: runtime payoff of the dangle-lint elision pass\n");
+    println!("lintperf: runtime payoff of the dangle-lint elision pass (off/intra/inter)\n");
 
     let header = [
-        "Program", "Kind", "safe/unk/flag", "elided", "shadow syscalls off",
-        "shadow syscalls on", "cycles off", "cycles on", "detect",
+        "Program", "Kind", "intra s/u/f", "inter s/u/f", "elided",
+        "shadow off", "shadow intra", "shadow inter", "cycles off", "cycles inter",
+        "detect",
     ];
     let mut rows = Vec::new();
     let mut artifact_rows = Vec::new();
     let mut server_with_strict_reduction = 0usize;
+    let mut server_inter_beats_intra = 0usize;
 
     for p in &programs {
-        let off = run_once(&p.src, false, Engine::Ast);
-        let on = run_once(&p.src, true, Engine::Ast);
-        assert_engines_identical(p.name, &p.src, &on);
-        let report = on.report.as_ref().expect("lint report present");
+        let off = run_once(&p.src, None, Engine::Ast);
+        let intra = run_once(&p.src, Some(LintMode::Intra), Engine::Ast);
+        let inter = run_once(&p.src, Some(LintMode::Inter), Engine::Ast);
+        assert_engines_identical(p.name, &p.src, &inter);
+        let r_intra = intra.report.as_ref().expect("intra lint report present");
+        let r_inter = inter.report.as_ref().expect("inter lint report present");
 
-        // Byte-identical behaviour: same printed values, same
-        // detection-or-not verdict.
-        assert_eq!(off.output, on.output, "{}: output diverged", p.name);
-        assert_eq!(off.detected, on.detected, "{}: detection diverged", p.name);
+        // Byte-identical behaviour across all three modes: same printed
+        // values, same detection-or-not verdict, same trap report text.
+        for (mode, run) in [("intra", &intra), ("inter", &inter)] {
+            assert_eq!(off.output, run.output, "{}: {mode} output diverged", p.name);
+            assert_eq!(off.detected, run.detected, "{}: {mode} detection diverged", p.name);
+            assert_eq!(off.trap, run.trap, "{}: {mode} trap report diverged", p.name);
+        }
         assert_eq!(
-            on.detected, p.expect_detection,
+            inter.detected, p.expect_detection,
             "{}: wrong detection result", p.name
         );
+        // Detecting programs: the report text must also survive the
+        // bytecode engine in *every* mode, not just inter.
+        if p.expect_detection {
+            for mode in [None, Some(LintMode::Intra), Some(LintMode::Inter)] {
+                let bc = run_once(&p.src, mode, Engine::Bytecode);
+                assert_eq!(
+                    off.trap, bc.trap,
+                    "{}: bytecode {mode:?} trap report diverged", p.name
+                );
+            }
+        }
         // No false positives: a clean program is never flagged Definite.
         if !p.expect_detection {
-            assert_eq!(
-                report.sites_flagged(),
-                0,
-                "{}: false Definite verdict:\n{}",
-                p.name,
-                report.render()
-            );
+            for (mode, rep) in [("intra", r_intra), ("inter", r_inter)] {
+                assert_eq!(
+                    rep.sites_flagged(),
+                    0,
+                    "{}: false Definite verdict under {mode}:\n{}",
+                    p.name,
+                    rep.render()
+                );
+            }
         }
         assert_eq!(off.elided, 0, "{}: nothing may be elided with the pass off", p.name);
 
-        let shadow_off = off.stats.mremap_calls + off.stats.mprotect_calls;
-        let shadow_on = on.stats.mremap_calls + on.stats.mprotect_calls;
+        // Monotone precision: summaries never lose safe sites, and never
+        // add protection syscalls.
         assert!(
-            shadow_on <= shadow_off,
-            "{}: elision must never add protection syscalls", p.name
+            r_inter.sites_safe() >= r_intra.sites_safe(),
+            "{}: inter less precise than intra", p.name
         );
-        if p.kind == "server" && shadow_on < shadow_off {
+        let (sh_off, sh_intra, sh_inter) =
+            (off.shadow_syscalls(), intra.shadow_syscalls(), inter.shadow_syscalls());
+        assert!(
+            sh_inter <= sh_intra && sh_intra <= sh_off,
+            "{}: elision must never add protection syscalls \
+             (off={sh_off} intra={sh_intra} inter={sh_inter})",
+            p.name
+        );
+        if p.name == "fingerd" {
+            assert_eq!(
+                sh_inter, 0,
+                "fingerd is fully elidable: zero shadow syscalls expected"
+            );
+        }
+        if p.kind == "server" && sh_inter < sh_off {
             server_with_strict_reduction += 1;
+        }
+        if p.kind == "server" && sh_inter < sh_intra {
+            server_inter_beats_intra += 1;
         }
 
         rows.push(vec![
@@ -191,31 +289,31 @@ fn main() {
             p.kind.to_string(),
             format!(
                 "{}/{}/{}",
-                report.sites_safe(),
-                report.sites_unknown(),
-                report.sites_flagged()
+                r_intra.sites_safe(),
+                r_intra.sites_unknown(),
+                r_intra.sites_flagged()
             ),
-            on.elided.to_string(),
-            shadow_off.to_string(),
-            shadow_on.to_string(),
+            format!(
+                "{}/{}/{}",
+                r_inter.sites_safe(),
+                r_inter.sites_unknown(),
+                r_inter.sites_flagged()
+            ),
+            inter.elided.to_string(),
+            sh_off.to_string(),
+            sh_intra.to_string(),
+            sh_inter.to_string(),
             off.cycles.to_string(),
-            on.cycles.to_string(),
-            if on.detected { "yes".into() } else { "no".to_string() },
+            inter.cycles.to_string(),
+            if inter.detected { "yes".into() } else { "no".to_string() },
         ]);
         artifact_rows.push(Json::Obj(vec![
             ("name".into(), Json::Str(p.name.to_string())),
             ("kind".into(), Json::Str(p.kind.to_string())),
-            ("sites_safe".into(), Json::from_u64(report.sites_safe())),
-            ("sites_unknown".into(), Json::from_u64(report.sites_unknown())),
-            ("sites_flagged".into(), Json::from_u64(report.sites_flagged())),
-            ("elided".into(), Json::from_u64(on.elided)),
-            ("shadow_syscalls_off".into(), Json::from_u64(shadow_off)),
-            ("shadow_syscalls_on".into(), Json::from_u64(shadow_on)),
-            ("total_syscalls_off".into(), Json::from_u64(off.stats.total_syscalls())),
-            ("total_syscalls_on".into(), Json::from_u64(on.stats.total_syscalls())),
-            ("cycles_off".into(), Json::from_u64(off.cycles)),
-            ("cycles_on".into(), Json::from_u64(on.cycles)),
-            ("detected".into(), Json::Bool(on.detected)),
+            ("off".into(), mode_json(&off)),
+            ("intra".into(), mode_json(&intra)),
+            ("inter".into(), mode_json(&inter)),
+            ("detected".into(), Json::Bool(inter.detected)),
             ("detections_identical".into(), Json::Bool(true)),
             ("engines_identical".into(), Json::Bool(true)),
         ]));
@@ -225,11 +323,18 @@ fn main() {
         server_with_strict_reduction >= 1,
         "at least one server workload must see a strict shadow-syscall reduction"
     );
+    assert!(
+        server_inter_beats_intra >= 1,
+        "at least one server workload must need the interprocedural layer \
+         for its reduction"
+    );
 
     println!("{}", render_table(&header, &rows));
     println!(
-        "servers with strictly fewer shadow syscalls: {server_with_strict_reduction}/3 \
-         (detections and output asserted identical on every row)"
+        "servers with strictly fewer shadow syscalls than unlinted: \
+         {server_with_strict_reduction}; needing summaries for the win: \
+         {server_inter_beats_intra} (detections, trap reports and output \
+         asserted identical on every row, on both engines)"
     );
 
     let mut artifact = Artifact::new("lintperf");
@@ -238,6 +343,10 @@ fn main() {
     artifact.set(
         "servers_with_strict_reduction",
         Json::from_u64(server_with_strict_reduction as u64),
+    );
+    artifact.set(
+        "servers_inter_beats_intra",
+        Json::from_u64(server_inter_beats_intra as u64),
     );
     artifact.write_cwd().expect("write BENCH artifact");
 }

@@ -482,7 +482,7 @@ impl<'p, 'c> FuncCompiler<'p, 'c> {
                 self.emit(Insn::Bin { cost, op: *op, dst, lhs: l, rhs: r });
                 Ok(Sty::Int)
             }
-            Expr::Call { callee, args, pool_args } => {
+            Expr::Call { callee, args, pool_args, .. } => {
                 let &fidx = self.func_idx.get(callee.as_str()).ok_or_else(|| {
                     self.err(Span::NONE, format!("undefined function `{callee}`"))
                 })?;

@@ -443,7 +443,7 @@ impl<'p> Interp<'p, '_, '_> {
                 };
                 Ok((v, Sty::Int))
             }
-            Expr::Call { callee, args, pool_args } => {
+            Expr::Call { callee, args, pool_args, .. } => {
                 let func = *self
                     .funcs
                     .get(callee.as_str())

@@ -521,3 +521,216 @@ fn lint_runtime_differential_on_random_programs() {
     assert!(flagged_total > 0, "corpus never produced a definite bug");
     assert!(elided_total > 0, "corpus never produced an elidable class");
 }
+
+// ---------------------------------------------------------------------
+// Interprocedural differential property test: multi-function programs.
+// ---------------------------------------------------------------------
+
+use dangle::apa::{lint_with_mode, pool_allocate_with_lint_mode, LintMode};
+use dangle::interp::{run_with, Engine};
+
+fn run_shadow_pool_with(engine: Engine, prog: &Program) -> Outcome {
+    let mut m = Machine::free_running();
+    let mut b = ShadowPoolBackend::new();
+    outcome(run_with(engine, prog, &mut m, &mut b, FUEL))
+}
+
+/// Emits a random helper-body statement over pointer params `q0`/`q1`
+/// (non-null by construction at every call site). `callee` is a
+/// previously generated helper this one may forward its params into —
+/// that is what makes free effects travel two call levels.
+fn gen_helper_stmt(rng: &mut TestRng, out: &mut String, depth: usize, callee: Option<usize>) {
+    let q = |rng: &mut TestRng| format!("q{}", rng.below(2));
+    match rng.below(if depth == 0 { 6 } else { 5 }) {
+        0 => out.push_str(&format!("{}->v = {};\n", q(rng), rng.below(100))),
+        1 => out.push_str(&format!("print({}->v);\n", q(rng))),
+        2 => out.push_str(&format!("free({});\n", q(rng))),
+        3 if callee.is_some() => {
+            let k = callee.unwrap();
+            out.push_str(&format!("helper{k}({}, {});\n", q(rng), q(rng)));
+        }
+        3 | 4 => out.push_str(&format!(
+            "var t{}: ptr<s> = malloc(s);\nfree(t{});\n",
+            depth, depth
+        )),
+        _ => {
+            out.push_str(&format!("if ({}->v < {}) {{\n", q(rng), rng.below(100)));
+            for _ in 0..1 + rng.below(2) {
+                gen_helper_stmt(rng, out, depth + 1, callee);
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// A random program with 1–2 pointer-taking helpers and a `main` that
+/// allocates, calls them (possibly with aliased arguments), and keeps
+/// using the pointers afterwards. Use-after-free and double free arise
+/// naturally when a helper frees and the caller (or a second call) uses.
+fn gen_multi_fn_program(rng: &mut TestRng) -> String {
+    let mut src = String::from("struct s { v: int }\n");
+    let n_helpers = 1 + rng.below(2) as usize;
+    for h in 0..n_helpers {
+        let returns_ptr = rng.below(2) == 0;
+        let callee = if h > 0 { Some(h - 1) } else { None };
+        src.push_str(&format!(
+            "fn helper{h}(q0: ptr<s>, q1: ptr<s>){} {{\n",
+            if returns_ptr { " -> ptr<s>" } else { "" }
+        ));
+        for _ in 0..1 + rng.below(3) {
+            gen_helper_stmt(rng, &mut src, 0, callee);
+        }
+        if returns_ptr {
+            // Never fall through a ptr-returning helper: the runtime
+            // would return null and poison the caller with null derefs.
+            src.push_str(match rng.below(3) {
+                0 => "return q0;\n",
+                1 => "return q1;\n",
+                _ => "return malloc(s);\n",
+            });
+        }
+        src.push_str("}\n");
+    }
+    src.push_str(
+        "fn main() {\nvar p0: ptr<s> = malloc(s);\nvar p1: ptr<s> = malloc(s);\n",
+    );
+    for _ in 0..2 + rng.below(5) {
+        let p = |rng: &mut TestRng| format!("p{}", rng.below(2));
+        match rng.below(6) {
+            0 => src.push_str(&format!("{} = malloc(s);\n", p(rng))),
+            1 => src.push_str(&format!("{}->v = {};\n", p(rng), rng.below(100))),
+            2 => src.push_str(&format!("print({}->v);\n", p(rng))),
+            3 => src.push_str(&format!("free({});\n", p(rng))),
+            _ => {
+                let h = rng.below(n_helpers as u64);
+                src.push_str(&format!("helper{h}({}, {});\n", p(rng), p(rng)));
+            }
+        }
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// The interprocedural soundness contract, checked differentially over
+/// randomized multi-function programs on BOTH engines:
+///
+/// 1. stamping `unchecked` sites never changes observable behaviour, in
+///    either lint mode, on either engine;
+/// 2. summaries only add precision: every intra-`ProvablySafe` site is
+///    inter-`ProvablySafe` too;
+/// 3. a `Definite*` verdict (either mode) reproduces as a runtime
+///    detection;
+/// 4. a program whose sites are all inter-`ProvablySafe` never detects,
+///    even with protection elided.
+#[test]
+fn interprocedural_differential_on_random_multi_fn_programs() {
+    let mut flagged_total = 0u64;
+    let mut inter_only_safe_sites = 0u64;
+    let mut elided_total = 0u64;
+    for case in 0..220u64 {
+        let mut rng = TestRng::new(0x9ea7_1100u64.wrapping_add(case * 0x9e37_79b9));
+        let src = gen_multi_fn_program(&mut rng);
+        let prog = parse(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        let a = analyze(&prog);
+
+        let r_intra = lint_with_mode(&prog, &a, LintMode::Intra);
+        let r_inter = lint_with_mode(&prog, &a, LintMode::Inter);
+        flagged_total += r_inter.sites_flagged();
+        elided_total += r_inter.unchecked_free_sites.len() as u64;
+
+        // (2) monotone precision, site by site.
+        for (&site, &v) in &r_intra.verdicts {
+            if v == Verdict::ProvablySafe {
+                assert_eq!(
+                    r_inter.verdict(site),
+                    Verdict::ProvablySafe,
+                    "case {case}: summaries lost site {site}\n{src}"
+                );
+            } else if r_inter.verdict(site) == Verdict::ProvablySafe {
+                inter_only_safe_sites += 1;
+            }
+        }
+
+        // (1) behaviour identical across plain/intra/inter × AST/bytecode.
+        let (plain, _) = pool_allocate(&prog);
+        let (st_intra, _, _) = pool_allocate_with_lint_mode(&prog, LintMode::Intra);
+        let (st_inter, _, _) = pool_allocate_with_lint_mode(&prog, LintMode::Inter);
+        let reference = run_shadow_pool_with(Engine::Ast, &plain);
+        for (what, p) in [
+            ("plain", &plain),
+            ("stamped-intra", &st_intra),
+            ("stamped-inter", &st_inter),
+        ] {
+            for engine in [Engine::Ast, Engine::Bytecode] {
+                assert_eq!(
+                    run_shadow_pool_with(engine, p),
+                    reference,
+                    "case {case}: {what}/{engine:?} diverged\n{src}"
+                );
+            }
+        }
+
+        // (3) definite claims reproduce (in both modes — intra claims are
+        // a subset of inter claims by construction, but check both).
+        if r_intra.sites_flagged() > 0 || r_inter.sites_flagged() > 0 {
+            assert_eq!(
+                reference,
+                Outcome::Detected,
+                "case {case}: Definite verdict must reproduce at runtime\n{}\n{src}",
+                r_inter.render()
+            );
+        }
+        // (4) an all-safe program runs clean.
+        if r_inter.sites_unknown() == 0 && r_inter.sites_flagged() == 0 {
+            assert!(
+                matches!(reference, Outcome::Finished(_)),
+                "case {case}: all-ProvablySafe program must run clean\n{src}"
+            );
+        }
+    }
+    // Generator sanity: the corpus must exercise the interprocedural
+    // layer, both ends of the verdict lattice, and actual elision.
+    assert!(flagged_total > 0, "corpus never produced a definite bug");
+    assert!(elided_total > 0, "corpus never produced an elidable class");
+    assert!(
+        inter_only_safe_sites > 0,
+        "corpus never exercised the interprocedural delta"
+    );
+}
+
+/// A free effect travelling through two call levels is attributed as
+/// Definite in the caller, with the call chain recorded in the report.
+#[test]
+fn free_through_two_levels_is_definite_with_chain() {
+    let r = lint_src(
+        "struct s { v: int }
+         fn kill(p: ptr<s>) { free(p); }
+         fn wrap(p: ptr<s>) { kill(p); }
+         fn main() {
+             var p: ptr<s> = malloc(s);
+             wrap(p);
+             print(p->v);
+         }",
+    );
+    assert_eq!(r.verdict(0), Verdict::DefiniteUAF);
+    let chain = r.summary_chain.get(&0).expect("chain recorded");
+    assert!(
+        chain.iter().any(|h| h.contains("main -> wrap")),
+        "chain should start at the applying caller: {chain:?}"
+    );
+    // The runtime agrees.
+    let prog = parse(
+        "struct s { v: int }
+         fn kill(p: ptr<s>) { free(p); }
+         fn wrap(p: ptr<s>) { kill(p); }
+         fn main() {
+             var p: ptr<s> = malloc(s);
+             wrap(p);
+             print(p->v);
+         }",
+    )
+    .unwrap();
+    let (t, _) = pool_allocate(&prog);
+    let (got, _) = run_shadow_pool(&t);
+    assert_eq!(got, Outcome::Detected);
+}
