@@ -131,9 +131,9 @@ impl Measurement {
     }
 
     /// The standard JSON view of one run, embedded in every artifact row:
-    /// cycles, syscall counts by kind, TLB hit/miss counts, access counts,
-    /// memory high-water marks, host wall-clock throughput, and the raw
-    /// metrics snapshot. `host_wall_ms`/`host_exec_per_sec` are always
+    /// cycles, syscall counts by kind, TLB hit/miss counts, sampled-
+    /// protection decision counts, access counts, memory high-water marks,
+    /// host wall-clock throughput, and the raw metrics snapshot. `host_wall_ms`/`host_exec_per_sec` are always
     /// emitted (zero when untimed) so every `BENCH_*.json` tracks the host
     /// perf trajectory on a stable schema.
     pub fn to_json(&self) -> Json {
@@ -161,6 +161,26 @@ impl Measurement {
                 Json::Obj(vec![
                     ("hits".into(), Json::from_u64(self.metrics.counter("vmm.tlb_hits"))),
                     ("misses".into(), Json::from_u64(self.metrics.counter("vmm.tlb_misses"))),
+                ]),
+            ),
+            (
+                // Always emitted, zero-valued when sampling is off (the
+                // metrics registry reports 0 for never-bumped counters) —
+                // same uniform-schema treatment as `mprotect_batch` above.
+                "sampling".into(),
+                Json::Obj(vec![
+                    (
+                        "protected".into(),
+                        Json::from_u64(self.metrics.counter("sampling.protected")),
+                    ),
+                    (
+                        "skipped".into(),
+                        Json::from_u64(self.metrics.counter("sampling.skipped")),
+                    ),
+                    (
+                        "budget_exhausted".into(),
+                        Json::from_u64(self.metrics.counter("sampling.budget_exhausted")),
+                    ),
                 ]),
             ),
             (
@@ -394,6 +414,12 @@ mod tests {
         // artifact consumers see a stable schema.
         assert_eq!(sys.get("mprotect_batch").and_then(Json::as_u64), Some(0));
         assert_eq!(sys.get("ranges_batched").and_then(Json::as_u64), Some(0));
+        // Sampling keys likewise: always present, zero-valued when the
+        // sampled-protection mode is off (as in every paper-table config).
+        let sampling = parsed.get("sampling").expect("sampling object");
+        assert_eq!(sampling.get("protected").and_then(Json::as_u64), Some(0));
+        assert_eq!(sampling.get("skipped").and_then(Json::as_u64), Some(0));
+        assert_eq!(sampling.get("budget_exhausted").and_then(Json::as_u64), Some(0));
         let tlb = parsed.get("tlb").expect("tlb object");
         let hits = tlb.get("hits").and_then(Json::as_u64).unwrap();
         let misses = tlb.get("misses").and_then(Json::as_u64).unwrap();

@@ -78,6 +78,11 @@ pub struct ObjectRecord {
     pub alloc_site: SiteId,
     /// Live or freed.
     pub state: ObjectState,
+    /// Whether this object was protected by a *probabilistic* sampling
+    /// draw (1 < N < ∞). Deterministic protection — sampling off, or
+    /// N = 1 — leaves this `false`, which is what makes the N = 1 trap
+    /// reports byte-identical to the unsampled detector's.
+    pub sampled: bool,
 }
 
 /// The kind of dangling use detected.
@@ -157,6 +162,7 @@ impl DanglingReport {
             clock: machine.clock(),
             object_base: self.object.base.raw(),
             object_size: self.object.size as u64,
+            sampled: self.object.sampled,
             alloc_site: sites.name(self.object.alloc_site).to_string(),
             alloc_stack,
             free_site,
@@ -205,6 +211,7 @@ impl ObjectRegistry {
             size,
             alloc_site,
             state: ObjectState::Live,
+            sampled: false,
         });
         self.alloc_stacks.push(Vec::new());
         self.free_stacks.push(Vec::new());
@@ -230,6 +237,7 @@ impl ObjectRegistry {
             size,
             alloc_site,
             state: ObjectState::Live,
+            sampled: false,
         });
         self.alloc_stacks.push(Vec::new());
         self.free_stacks.push(Vec::new());
@@ -245,6 +253,16 @@ impl ObjectRegistry {
         if let Some(slot) = self.alloc_stacks.last_mut() {
             slot.clear();
             slot.extend_from_slice(stack);
+        }
+    }
+
+    /// Marks the most recently inserted object as probabilistically
+    /// sampled (see [`ObjectRecord::sampled`]). Detector alloc paths call
+    /// this right after `insert`/`insert_range` when the sampling policy's
+    /// draw — not a deterministic rule — chose protection.
+    pub fn note_sampled(&mut self, sampled: bool) {
+        if let Some(rec) = self.records.last_mut() {
+            rec.sampled = sampled;
         }
     }
 
@@ -457,6 +475,7 @@ mod tests {
                 size: 24,
                 alloc_site: a,
                 state: ObjectState::Freed { free_site: f },
+                sampled: false,
             },
         };
         let s = rep.render(&sites);

@@ -26,6 +26,8 @@
 //!   calculation) and the threshold recycling policy (solution 1).
 //! * [`gc`] — the §3.4 conservative pool GC (solution 2), guided by the
 //!   dynamic pool points-to graph.
+//! * [`sampling`] — GWP-ASan-style budget-aware 1-in-N sampled protection
+//!   (off by default; `N = 1` is an identity with the full detector).
 //! * `os` (feature `os`) — a real Linux backend demonstrating Insight 1
 //!   with actual `memfd`/`mmap`/`mprotect` and SIGSEGV.
 
@@ -33,6 +35,7 @@ pub mod diag;
 pub mod exhaustion;
 pub mod gc;
 pub mod pool_shadow;
+pub mod sampling;
 pub mod shadow;
 pub mod sharded;
 
@@ -42,6 +45,7 @@ pub mod os;
 pub use diag::{DanglingKind, DanglingReport, ObjectRecord, ObjectState, SiteId, SiteTable};
 pub use gc::GcReport;
 pub use pool_shadow::{FreedSpan, ShadowPool};
+pub use sampling::{SampleDecision, SamplingConfig, SamplingPolicy, SiteSafety};
 pub use shadow::{BatchConfig, ShadowConfig, ShadowHeap, SHADOW_WORD};
 pub use sharded::{EpochFreeList, ShardedShadowPool};
 

@@ -17,6 +17,7 @@
 //! measurements show is tiny for real servers.
 
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
+use crate::sampling::{self, SampleDecision, SamplingConfig, SamplingPolicy, SiteSafety};
 use crate::shadow::{merge_run, runs_overlap, BatchConfig, Extent, TRAP_CONTEXT_EVENTS};
 use dangle_heap::{header, AllocError, AllocStats};
 use dangle_telemetry::{Category, EventKind, TrapReport};
@@ -85,6 +86,9 @@ pub struct ShadowPool {
     pending_protect: Vec<(PageNum, usize)>,
     /// Frees accumulated since the last protection flush.
     pending_frees: usize,
+    /// Sampled-protection decision engine (inert unless constructed via
+    /// [`ShadowPool::with_sampling`]).
+    sampling: SamplingPolicy,
 }
 
 impl ShadowPool {
@@ -104,9 +108,30 @@ impl ShadowPool {
         ShadowPool { pools: PoolSet::with_config(config), batch, ..ShadowPool::default() }
     }
 
+    /// Creates a detector with explicit pool, batching and sampled-
+    /// protection configurations (see [`SamplingConfig`]). With sampling
+    /// off this is exactly [`ShadowPool::with_batch`].
+    pub fn with_sampling(
+        config: PoolConfig,
+        batch: BatchConfig,
+        sampling: SamplingConfig,
+    ) -> ShadowPool {
+        ShadowPool {
+            pools: PoolSet::with_config(config),
+            batch,
+            sampling: SamplingPolicy::new(sampling),
+            ..ShadowPool::default()
+        }
+    }
+
     /// The batching configuration this detector runs with.
     pub fn batch_config(&self) -> BatchConfig {
         self.batch
+    }
+
+    /// The sampled-protection configuration this detector runs with.
+    pub fn sampling_config(&self) -> SamplingConfig {
+        self.sampling.config()
     }
 
     /// `poolinit`. See [`PoolSet::create`].
@@ -142,6 +167,29 @@ impl ShadowPool {
         size: usize,
         site: SiteId,
     ) -> Result<VirtAddr, PoolError> {
+        // Sampled protection (inert by default). Host-side decision — no
+        // simulated cycles — so N = 1 is byte-identical to the unsampled
+        // detector. Counters track *allocation decisions*; the free path
+        // routes silently.
+        let sampled = if self.sampling.enabled() {
+            let class = header::class_index(size).unwrap_or(usize::MAX);
+            match self.sampling.decide(site, SiteSafety::Unknown, class) {
+                SampleDecision::Protect { sampled } => {
+                    machine.telemetry_mut().counter_add(sampling::COUNTER_PROTECTED, 1);
+                    sampled
+                }
+                SampleDecision::Skip { budget_exhausted } => {
+                    let t = machine.telemetry_mut();
+                    t.counter_add(sampling::COUNTER_SKIPPED, 1);
+                    if budget_exhausted {
+                        t.counter_add(sampling::COUNTER_BUDGET_EXHAUSTED, 1);
+                    }
+                    return self.pools.alloc(machine, pool, size);
+                }
+            }
+        } else {
+            false
+        };
         let total = size
             .checked_add(SHADOW_WORD)
             .ok_or(PoolError::Alloc(AllocError::TooLarge { size }))?;
@@ -169,6 +217,9 @@ impl ShadowPool {
         machine.store_u64(shadow_hidden, canon_page.base().raw())?;
         let user = shadow_hidden.add(SHADOW_WORD as u64);
         self.registry.insert_range(user, size, site, shadow_start, span);
+        if sampled {
+            self.registry.note_sampled(true);
+        }
         if !machine.telemetry().call_stack().is_empty() {
             let stack = machine.telemetry().call_stack().to_vec();
             self.registry.note_alloc_stack(&stack);
@@ -401,6 +452,14 @@ impl ShadowPool {
     ) -> Result<(), PoolError> {
         if addr.raw() < SHADOW_WORD as u64 {
             return Err(AllocError::InvalidFree { addr }.into());
+        }
+        // Sampled mode routes frees by provenance: protected objects live
+        // at registered shadow addresses, unsampled ones at canonical pool
+        // addresses the registry has never seen — a miss is the unchecked
+        // fast path (the pool's block-header check still catches double
+        // frees of unsampled objects as `InvalidFree`).
+        if self.sampling.enabled() && self.registry.lookup(addr).is_none() {
+            return self.pools.free(machine, pool, addr);
         }
         let hidden = addr.sub(SHADOW_WORD as u64);
         // An epoch-deferred protection makes the hidden word of an
@@ -895,5 +954,76 @@ mod tests {
         m.fill(p, 0xab, 10_000).unwrap();
         sp.free(&mut m, pp, p).unwrap();
         assert!(m.load_u8(p.add(9_000)).is_err(), "tail page protected too");
+    }
+
+    fn sampled(cfg: crate::SamplingConfig) -> (Machine, ShadowPool) {
+        let sp = ShadowPool::with_sampling(PoolConfig::default(), BatchConfig::default(), cfg);
+        (Machine::free_running(), sp)
+    }
+
+    #[test]
+    fn sampling_n1_still_detects_every_uaf() {
+        let (mut m, mut sp) = sampled(crate::SamplingConfig::one_in(1));
+        let pp = sp.create(16);
+        let p = sp.alloc(&mut m, pp, 16).unwrap();
+        m.store_u64(p, 3).unwrap();
+        sp.free(&mut m, pp, p).unwrap();
+        let trap = m.load_u64(p).unwrap_err();
+        let rep = sp.explain(&trap).unwrap();
+        assert_eq!(rep.kind, DanglingKind::Read);
+        assert!(!rep.object.sampled, "deterministic protection is unmarked");
+        assert_eq!(m.telemetry().counter(crate::sampling::COUNTER_PROTECTED), 1);
+        assert_eq!(m.telemetry().counter(crate::sampling::COUNTER_SKIPPED), 0);
+    }
+
+    #[test]
+    fn sampling_never_routes_to_the_fast_path() {
+        let (mut m, mut sp) =
+            sampled(crate::SamplingConfig::one_in(crate::SamplingConfig::NEVER));
+        let pp = sp.create(16);
+        let p = sp.alloc(&mut m, pp, 16).unwrap();
+        m.store_u64(p, 3).unwrap();
+        sp.free(&mut m, pp, p).unwrap();
+        // Unsampled object: the stale read goes through (the trade-off)...
+        assert!(m.load_u64(p).is_ok(), "no shadow alias, no trap");
+        // ...but a double free is still caught by the pool's block header.
+        assert!(matches!(
+            sp.free(&mut m, pp, p),
+            Err(PoolError::Alloc(AllocError::InvalidFree { .. }))
+        ));
+        assert_eq!(m.telemetry().counter(crate::sampling::COUNTER_SKIPPED), 1);
+        assert_eq!(m.telemetry().counter(crate::sampling::COUNTER_PROTECTED), 0);
+        assert_eq!(m.telemetry().counter("shadow.elided"), 0, "lint stream untouched");
+    }
+
+    #[test]
+    fn probabilistic_protection_marks_trap_reports_sampled() {
+        let (mut m, mut sp) = sampled(crate::SamplingConfig::one_in(2).with_seed(0x1234));
+        let pp = sp.create(16);
+        // Allocate until one object is actually protected, then UAF it.
+        for _ in 0..64 {
+            let p = sp.alloc(&mut m, pp, 16).unwrap();
+            sp.free(&mut m, pp, p).unwrap();
+            if let Err(trap) = m.load_u64(p) {
+                let rep = sp.explain(&trap).unwrap();
+                assert!(rep.object.sampled, "probabilistic draw is marked");
+                return;
+            }
+        }
+        panic!("1-in-2 sampling protected nothing in 64 draws");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_counted() {
+        let (mut m, mut sp) =
+            sampled(crate::SamplingConfig::one_in(1).with_budgets(1, 1, 0));
+        let pp = sp.create(16);
+        for _ in 0..4 {
+            let p = sp.alloc(&mut m, pp, 16).unwrap();
+            sp.free(&mut m, pp, p).unwrap();
+        }
+        assert_eq!(m.telemetry().counter(crate::sampling::COUNTER_PROTECTED), 1);
+        assert_eq!(m.telemetry().counter(crate::sampling::COUNTER_SKIPPED), 3);
+        assert_eq!(m.telemetry().counter(crate::sampling::COUNTER_BUDGET_EXHAUSTED), 3);
     }
 }

@@ -25,6 +25,7 @@
 //! available here as [`ShadowHeap::recycle_freed_pages`].
 
 use crate::diag::{DanglingReport, ObjectRegistry, SiteId, SiteTable};
+use crate::sampling::{self, SampleDecision, SamplingConfig, SamplingPolicy, SiteSafety};
 use dangle_heap::{header, AllocError, AllocStats, Allocator, SysHeap};
 use dangle_telemetry::{Category, TrapReport};
 use dangle_vmm::{Machine, PageNum, Protection, Trap, VirtAddr, PAGE_MASK};
@@ -78,6 +79,9 @@ pub struct ShadowConfig {
     pub recycle_threshold_pages: Option<u64>,
     /// Vectored-syscall batching (see [`BatchConfig`]).
     pub batch: BatchConfig,
+    /// GWP-ASan-style sampled protection (see [`SamplingConfig`]). Off by
+    /// default: every allocation gets a shadow alias, as in the paper.
+    pub sampling: SamplingConfig,
 }
 
 /// A bump extent of shadow pages pre-aliased to one canonical page:
@@ -181,6 +185,9 @@ pub struct ShadowHeap<A = SysHeap> {
     pending_protect: Vec<(PageNum, usize)>,
     /// Frees accumulated since the last protection flush.
     pending_frees: usize,
+    /// Sampled-protection decision engine (inert unless
+    /// [`ShadowConfig::sampling`] enables it).
+    sampling: SamplingPolicy,
     last_report: Option<DanglingReport>,
 }
 
@@ -209,8 +216,14 @@ impl<A: Allocator> ShadowHeap<A> {
             extents: HashMap::new(),
             pending_protect: Vec::new(),
             pending_frees: 0,
+            sampling: SamplingPolicy::new(config.sampling),
             last_report: None,
         }
+    }
+
+    /// The sampled-protection configuration this detector runs with.
+    pub fn sampling_config(&self) -> SamplingConfig {
+        self.sampling.config()
     }
 
     /// The site table, for interning allocation/free site labels.
@@ -288,6 +301,29 @@ impl<A: Allocator> ShadowHeap<A> {
         size: usize,
         site: SiteId,
     ) -> Result<VirtAddr, AllocError> {
+        // Sampled protection (inert by default). The decision is host-side
+        // only — no simulated cycles — so with N = 1 the run is
+        // byte-identical to the unsampled detector. Counters track
+        // *allocation decisions*; the free path routes silently.
+        let sampled = if self.sampling.enabled() {
+            let class = header::class_index(size).unwrap_or(usize::MAX);
+            match self.sampling.decide(site, SiteSafety::Unknown, class) {
+                SampleDecision::Protect { sampled } => {
+                    machine.telemetry_mut().counter_add(sampling::COUNTER_PROTECTED, 1);
+                    sampled
+                }
+                SampleDecision::Skip { budget_exhausted } => {
+                    let t = machine.telemetry_mut();
+                    t.counter_add(sampling::COUNTER_SKIPPED, 1);
+                    if budget_exhausted {
+                        t.counter_add(sampling::COUNTER_BUDGET_EXHAUSTED, 1);
+                    }
+                    return self.inner.alloc(machine, size);
+                }
+            }
+        } else {
+            false
+        };
         if let Some(threshold) = self.config.recycle_threshold_pages {
             if machine.virt_pages_consumed() >= threshold && self.recycled.is_empty() {
                 // Deferred protections must land before their pages can be
@@ -326,6 +362,9 @@ impl<A: Allocator> ShadowHeap<A> {
         machine.store_u64(shadow_hidden, canon_page.base().raw())?;
         let user = shadow_hidden.add(SHADOW_WORD as u64);
         self.registry.insert_range(user, size, site, shadow_base.page(), span);
+        if sampled {
+            self.registry.note_sampled(true);
+        }
         if !machine.telemetry().call_stack().is_empty() {
             let stack = machine.telemetry().call_stack().to_vec();
             self.registry.note_alloc_stack(&stack);
@@ -361,6 +400,16 @@ impl<A: Allocator> ShadowHeap<A> {
     ) -> Result<(), AllocError> {
         if addr.raw() < SHADOW_WORD as u64 {
             return Err(AllocError::InvalidFree { addr });
+        }
+        // Sampled mode routes frees by provenance: protected objects live
+        // at registered shadow addresses, unsampled ones at canonical
+        // addresses the registry has never seen — a miss is the unchecked
+        // fast path (the inner allocator's header check still catches
+        // double frees of unsampled objects as `InvalidFree`). The null
+        // guard above runs first so degenerate frees cost the same cycles
+        // as in the unsampled detector.
+        if self.sampling.enabled() && self.registry.lookup(addr).is_none() {
+            return self.inner.free(machine, addr);
         }
         let hidden = addr.sub(SHADOW_WORD as u64);
         // An epoch-deferred protection makes the hidden word of an
@@ -1005,6 +1054,7 @@ mod tests {
         let cfg = ShadowConfig {
             recycle_threshold_pages: Some(20),
             batch: BatchConfig { enabled: true, ..BatchConfig::default() },
+            ..ShadowConfig::default()
         };
         let mut m = Machine::free_running();
         let mut h = ShadowHeap::with_config(SysHeap::new(), cfg);

@@ -29,6 +29,7 @@
 
 use crate::diag::{DanglingReport, SiteId, SiteTable};
 use crate::pool_shadow::ShadowPool;
+use crate::sampling::SamplingConfig;
 use crate::shadow::BatchConfig;
 use dangle_heap::AllocStats;
 use dangle_pool::{PoolConfig, PoolError, PoolId};
@@ -183,6 +184,29 @@ impl ShardedShadowPool {
         assert!(shards >= 1, "a sharded detector needs at least one shard");
         ShardedShadowPool {
             shards: (0..shards).map(|_| ShadowPool::with_batch(config, batch)).collect(),
+            handles: Vec::new(),
+            epoch: EpochFreeList::new(shards),
+            last_shard: 0,
+        }
+    }
+
+    /// A sharded detector with sampled protection: every shard runs its own
+    /// [`crate::SamplingPolicy`] — per-shard RNG and budgets, so the hot
+    /// paths stay contention-free. Shard `i` draws from
+    /// [`SamplingConfig::for_shard`]`(i)`; shard 0 keeps the base seed, which
+    /// is what makes a 1-shard sampled detector byte-identical to a plain
+    /// [`ShadowPool::with_sampling`].
+    pub fn with_sampling(
+        shards: usize,
+        config: PoolConfig,
+        batch: BatchConfig,
+        sampling: SamplingConfig,
+    ) -> ShardedShadowPool {
+        assert!(shards >= 1, "a sharded detector needs at least one shard");
+        ShardedShadowPool {
+            shards: (0..shards)
+                .map(|i| ShadowPool::with_sampling(config, batch, sampling.for_shard(i)))
+                .collect(),
             handles: Vec::new(),
             epoch: EpochFreeList::new(shards),
             last_shard: 0,

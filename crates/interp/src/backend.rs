@@ -20,7 +20,9 @@
 //! | [`CapabilityBackend`] | SafeC/Xu-style | §5.2 comparison |
 
 use dangle_baselines::{CapabilityChecker, CheckError, CheckedMemory, EFence, Memcheck};
-use dangle_core::{BatchConfig, ShadowConfig, ShadowHeap, ShadowPool, ShardedShadowPool};
+use dangle_core::{
+    BatchConfig, SamplingConfig, ShadowConfig, ShadowHeap, ShadowPool, ShardedShadowPool,
+};
 use dangle_heap::{AllocError, Allocator, ArenaHeap, SysHeap};
 use dangle_pool::{PoolError, PoolId, PoolSet};
 use dangle_telemetry::EventKind;
@@ -583,6 +585,18 @@ impl ShadowBackend {
         }
     }
 
+    /// Creates the backend with GWP-ASan-style sampled protection: 1-in-N
+    /// allocations get the full shadow alias, the rest take the unchecked
+    /// fast path (see [`SamplingConfig`]).
+    pub fn with_sampling(sampling: SamplingConfig) -> ShadowBackend {
+        ShadowBackend {
+            heap: ShadowHeap::with_config(
+                SysHeap::new(),
+                ShadowConfig { sampling, ..ShadowConfig::default() },
+            ),
+        }
+    }
+
     /// The detector (for diagnostics and stats).
     pub fn detector(&self) -> &ShadowHeap<SysHeap> {
         &self.heap
@@ -713,6 +727,20 @@ impl ShadowPoolBackend {
     pub fn with_batching(batch: BatchConfig) -> ShadowPoolBackend {
         ShadowPoolBackend {
             detector: ShadowPool::with_batch(dangle_pool::PoolConfig::default(), batch),
+            global_pool: None,
+        }
+    }
+
+    /// Creates the backend with GWP-ASan-style sampled protection: 1-in-N
+    /// allocations get the full shadow alias, the rest take the unchecked
+    /// fast path (see [`SamplingConfig`]).
+    pub fn with_sampling(sampling: SamplingConfig) -> ShadowPoolBackend {
+        ShadowPoolBackend {
+            detector: ShadowPool::with_sampling(
+                dangle_pool::PoolConfig::default(),
+                BatchConfig::default(),
+                sampling,
+            ),
             global_pool: None,
         }
     }
@@ -866,6 +894,20 @@ impl ShardedPoolBackend {
                 shards,
                 dangle_pool::PoolConfig::default(),
                 batch,
+            ),
+            global_pool: None,
+        }
+    }
+
+    /// Creates the backend with sampled protection in every shard (each
+    /// shard derives its own seed via [`SamplingConfig::for_shard`]).
+    pub fn with_sampling(shards: usize, sampling: SamplingConfig) -> ShardedPoolBackend {
+        ShardedPoolBackend {
+            detector: ShardedShadowPool::with_sampling(
+                shards,
+                dangle_pool::PoolConfig::default(),
+                BatchConfig::default(),
+                sampling,
             ),
             global_pool: None,
         }

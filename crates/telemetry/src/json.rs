@@ -82,6 +82,14 @@ impl Json {
         }
     }
 
+    /// The boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string value.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -21,6 +21,11 @@ pub struct TrapReport {
     pub object_base: u64,
     /// Size in bytes of that object.
     pub object_size: u64,
+    /// Whether the object was protected by a *probabilistic* sampling draw
+    /// (hybrid 1-in-N mode with 1 < N < ∞). `false` for deterministic
+    /// protection — sampling off or N = 1 — so full-protection reports are
+    /// unchanged by the sampling feature.
+    pub sampled: bool,
     /// Resolved allocation-site name (e.g. `"handle_request:malloc"`).
     pub alloc_site: String,
     /// Full call stack at allocation time (outermost first), when the
@@ -87,6 +92,7 @@ impl TrapReport {
                 Json::Obj(vec![
                     ("base".into(), Json::from_u64(self.object_base)),
                     ("size".into(), Json::from_u64(self.object_size)),
+                    ("sampled".into(), Json::Bool(self.sampled)),
                 ]),
             ),
             ("alloc_site".into(), Json::Str(self.alloc_site.clone())),
@@ -129,6 +135,7 @@ impl TrapReport {
             clock: j.get("clock")?.as_u64()?,
             object_base: object.get("base")?.as_u64()?,
             object_size: object.get("size")?.as_u64()?,
+            sampled: object.get("sampled")?.as_bool()?,
             alloc_site: j.get("alloc_site")?.as_str()?.to_string(),
             alloc_stack: stack_from_json(j.get("alloc_stack")?)?,
             free_site: match j.get("free_site")? {
@@ -153,8 +160,10 @@ impl TrapReport {
             self.kind, self.fault_addr, self.clock
         ));
         out.push_str(&format!(
-            "object: base 0x{:x} size {}\n",
-            self.object_base, self.object_size
+            "object: base 0x{:x} size {}{}\n",
+            self.object_base,
+            self.object_size,
+            if self.sampled { " (sampled)" } else { "" }
         ));
         Self::render_stack(&mut out, &format!("used at {}", self.use_site), &self.use_stack);
         Self::render_stack(
@@ -202,6 +211,7 @@ mod tests {
             clock: 123_456,
             object_base: 0x7040,
             object_size: 48,
+            sampled: false,
             alloc_site: "handle_request:malloc".into(),
             alloc_stack: vec!["main".into(), "serve".into(), "handle_request".into()],
             free_site: Some("close_connection:free".into()),
@@ -260,6 +270,7 @@ mod tests {
             clock: 9,
             object_base: 64,
             object_size: 8,
+            sampled: false,
             alloc_site: "a".into(),
             alloc_stack: vec!["main".into(), "f".into()],
             free_site: Some("b".into()),
@@ -272,7 +283,7 @@ mod tests {
         };
         let golden = concat!(
             "{\"kind\":\"dangling read\",\"fault_addr\":64,\"clock\":9,",
-            "\"object\":{\"base\":64,\"size\":8},",
+            "\"object\":{\"base\":64,\"size\":8,\"sampled\":false},",
             "\"alloc_site\":\"a\",\"alloc_stack\":[\"main\",\"f\"],",
             "\"free_site\":\"b\",\"free_stack\":[\"main\",\"g\"],",
             "\"use_site\":\"c\",\"use_stack\":[\"main\"],",
